@@ -1,0 +1,37 @@
+"""Figure 7 — the Organization Factor's cumulative-curve construction.
+
+Paper: two curves over the same network set — the all-singletons
+diagonal and AS2Org's descending-size cumulative curve; θ is the
+normalized area between them.  The shape: the AS2Org curve dominates the
+diagonal, saturates early (large orgs first), and both end at n.
+"""
+
+from conftest import run_and_render
+
+from repro.metrics import org_factor_from_mapping
+
+
+def test_fig7_theta_curves(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "fig7")
+
+    xs_s, ys_s = report.series["singletons"]
+    xs_a, ys_a = report.series["as2org"]
+    assert xs_s == xs_a
+    n = len(ctx.universe.whois)
+    assert len(xs_s) == n
+
+    # Diagonal reference: y == x.
+    assert ys_s == xs_s
+    # AS2Org curve dominates the diagonal and ends at the same total.
+    assert all(a >= s for a, s in zip(ys_a, ys_s))
+    assert ys_a[-1] == ys_s[-1] == n
+
+    # The curve saturates early: by 40% of the x-axis it holds > 55% of
+    # networks (descending-size ordering front-loads the mass).
+    cut = int(0.4 * n)
+    assert ys_a[cut] / n > 0.55
+
+    # Area under (curve - diagonal), normalized, equals θ.
+    area = sum(a - s for a, s in zip(ys_a, ys_s))
+    theta = area / (n * (n - 1) / 2)
+    assert abs(theta - org_factor_from_mapping(ctx.as2org)) < 1e-9

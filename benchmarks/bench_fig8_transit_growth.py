@@ -1,0 +1,36 @@
+"""Figure 8 — marginal network growth of organizations along AS-Rank.
+
+Paper: the top 100 networks gain ≈5 additional ASNs on average under
+Borges; the effect extends through the top 1,000 (cumulative slope ≈1)
+and tapers to near zero in the long tail.  The shape: a steep decreasing
+gradient of mean marginal growth from the top-100 window to the full
+table (absolute magnitudes scale with the 1:10 universe).
+"""
+
+from conftest import run_and_render
+
+
+def test_fig8_transit_marginal_growth(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "fig8")
+    rows = {row["window"]: row for row in report.rows}
+
+    top100 = rows["top 100"]["mean_marginal_growth"]
+    top1k = rows["top 1,000"]["mean_marginal_growth"]
+    top10k = rows["top 10,000"]["mean_marginal_growth"]
+
+    # Strictly decreasing gradient: consolidation concentrates at the top.
+    assert top100 > top1k > top10k
+    # The top-100 ranks gain substantially (paper: ≈5 at full scale; the
+    # 1:10 universe caps carrier size to keep Table 6's deltas in band).
+    assert top100 >= 0.8
+    assert top100 > 4 * top10k
+    # The long tail is essentially flat.
+    assert top10k < 0.5 * top1k
+
+    # The cumulative series is monotone and growth is top-loaded: the
+    # top decile of ranks holds several times its proportional share.
+    xs, ys = report.series["cumulative_growth"]
+    assert ys == sorted(ys)
+    total = ys[-1]
+    top_decile_cut = max(i for i, x in enumerate(xs) if x <= 0.1 * xs[-1])
+    assert ys[top_decile_cut] > 0.3 * total

@@ -1,0 +1,29 @@
+"""Figure 9 — hypergiant organization sizes under the three methods.
+
+Paper: 5 of 16 hypergiants improve under Borges — EdgeCast gains 9
+networks (the Limelight consolidation), Google +3, Microsoft +1,
+Amazon +1 — the rest are already complete in WHOIS.  These exact deltas
+are planted as canonical scenarios, so this bench asserts them directly.
+"""
+
+from conftest import run_and_render
+
+
+def test_fig9_hypergiant_sizes(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "fig9")
+    rows = {str(row["hypergiant"]): row for row in report.rows}
+
+    assert len(rows) == 16
+
+    # The paper's exact gains.
+    assert rows["EdgeCast"]["gain_vs_as2org"] == 9
+    assert rows["Google"]["gain_vs_as2org"] == 3
+    assert rows["Microsoft"]["gain_vs_as2org"] == 1
+    assert rows["Amazon"]["gain_vs_as2org"] == 1
+
+    improved = [r for r in rows.values() if r["gain_vs_as2org"] > 0]
+    assert 5 <= len(improved) <= 7  # paper: 5 improve
+
+    # No hypergiant shrinks; as2org+ sits between the two.
+    for row in rows.values():
+        assert row["as2org"] <= row["as2org_plus"] <= row["borges"]

@@ -1,0 +1,34 @@
+"""Beyond-θ bench: partition quality against the synthetic ground truth.
+
+Not a paper table — the paper explicitly cannot compute it ("no ground
+truth exists for organizational mappings", §1; "θ does not distinguish
+between correct and incorrect mappings", §5.4).  The synthetic universe
+knows the truth, so this bench verifies the *premise* behind θ: Borges's
+higher θ comes from CORRECT merges (recall rises while pairwise precision
+stays near 1), not from lumping unrelated networks together.
+"""
+
+from repro.analysis.ground_truth import ground_truth_table
+from repro.experiments.report import render_table
+
+
+def test_ground_truth_partition_quality(benchmark, ctx):
+    rows = benchmark.pedantic(
+        lambda: ground_truth_table(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows))
+
+    by_method = {row["method"]: row for row in rows}
+    as2org, plus, borges = (
+        by_method["AS2Org"], by_method["as2org+"], by_method["Borges"]
+    )
+
+    # Recall strictly improves along the method ladder...
+    assert as2org["pair_recall"] < plus["pair_recall"] < borges["pair_recall"]
+    # ...while precision never collapses (merges are overwhelmingly real).
+    assert borges["pair_precision"] > 0.9
+    assert plus["pair_precision"] > 0.95
+    # Aggregate agreement (ARI, V-measure) improves too.
+    assert borges["ari"] > as2org["ari"]
+    assert borges["v_measure"] > as2org["v_measure"]

@@ -1,0 +1,46 @@
+"""Longitudinal bench: organizational evolution across snapshots.
+
+Extension of the paper's §7 future work — no paper table exists; the
+assertions pin the qualitative dynamics: consolidation is monotone in
+time (θ up, org count down), the canonical merger stories flip from
+"independent" to "sibling" at their event years, and merge events are
+recovered between consecutive snapshots.
+"""
+
+from repro.longitudinal import build_snapshot_series, run_longitudinal_study
+from repro.universe.canonical import (
+    AS_CENTURYLINK,
+    AS_CLEARWIRE,
+    AS_LUMEN,
+    AS_TMOBILE_US,
+)
+
+
+def test_longitudinal_evolution(benchmark, ctx):
+    universe = ctx.universe
+    series = build_snapshot_series(universe, years=(2008, 2015, 2019, 2024))
+    report = benchmark.pedantic(
+        lambda: run_longitudinal_study(series), rounds=1, iterations=1
+    )
+
+    print()
+    for result in report.results:
+        print(
+            f"  {result.year}: theta={result.theta:.4f} "
+            f"orgs={result.org_count:,}"
+        )
+    print(f"  merge events detected: {len(report.merges)}")
+
+    thetas = [r.theta for r in report.results]
+    counts = [r.org_count for r in report.results]
+    assert all(b >= a - 1e-9 for a, b in zip(thetas, thetas[1:]))
+    assert all(b <= a for a, b in zip(counts, counts[1:]))
+    assert report.merges
+
+    by_year = {r.year: r.mapping for r in report.results}
+    # CenturyLink (2016): split in 2015, together by 2019.
+    assert not by_year[2015].are_siblings(AS_LUMEN, AS_CENTURYLINK)
+    assert by_year[2019].are_siblings(AS_LUMEN, AS_CENTURYLINK)
+    # Clearwire (2020): split in 2019, together by 2024.
+    assert not by_year[2019].are_siblings(AS_CLEARWIRE, AS_TMOBILE_US)
+    assert by_year[2024].are_siblings(AS_CLEARWIRE, AS_TMOBILE_US)

@@ -1,0 +1,53 @@
+"""Model-comparison bench: mapping quality across the simulated LLM zoo.
+
+Extension of the paper's conclusion ("alternative models ... such as
+Meta's Llama and DeepSeek's R1").  Asserts the expected dose-response:
+better model tier → better extraction accuracy → equal-or-better mapping
+precision, with the paper's GPT-4o-mini anchor sitting mid-pack.
+"""
+
+from repro.analysis.model_comparison import model_comparison_table
+from repro.experiments.report import render_table
+
+
+def test_model_comparison(benchmark, ctx):
+    rows = benchmark.pedantic(
+        lambda: model_comparison_table(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows))
+
+    by_model = {str(row["model"]): row for row in rows}
+    anchor = by_model["gpt-4o-mini-sim"]
+    frontier = by_model["gpt-4o-sim"]
+    reasoning = by_model["deepseek-r1-sim"]
+    small = by_model["llama-3-8b-sim"]
+
+    # Extraction accuracy tracks the model tier.
+    assert reasoning["extract_accuracy"] >= anchor["extract_accuracy"]
+    assert frontier["extract_accuracy"] >= anchor["extract_accuracy"]
+    assert small["extract_accuracy"] < anchor["extract_accuracy"]
+
+    # Noisier models pay in mapping precision.
+    assert small["pair_precision"] <= anchor["pair_precision"] + 1e-9
+
+    # Every tier still beats the AS2Org baseline on theta.
+    from repro.metrics import org_factor_from_mapping
+
+    baseline = org_factor_from_mapping(ctx.as2org)
+    for row in rows:
+        assert row["theta"] > baseline
+
+    # Dose-response across the whole zoo: measured extraction accuracy
+    # anti-correlates with the profiles' error rates (Spearman).
+    from scipy.stats import spearmanr
+
+    from repro.llm.model_zoo import MODEL_ZOO
+
+    error_rates = [
+        MODEL_ZOO[str(row["model"])].extraction_error_rate for row in rows
+    ]
+    accuracies = [float(row["extract_accuracy"]) for row in rows]
+    rho, _p = spearmanr(error_rates, accuracies)
+    print(f"\nspearman(profile error rate, measured accuracy) = {rho:.3f}")
+    assert rho < -0.6

@@ -1,0 +1,65 @@
+"""Throughput benches: universe generation and pipeline stages at scale.
+
+These are genuine performance measurements (multiple rounds) of the
+system's hot paths: generating a universe, running the full pipeline,
+scraping/resolving, and computing θ over large size vectors.
+"""
+
+import pytest
+
+from repro.config import UniverseConfig
+from repro.core import BorgesPipeline
+from repro.metrics.org_factor import org_factor
+from repro.universe import generate_universe
+from repro.web.scraper import HeadlessScraper
+
+
+SMALL = UniverseConfig(seed=11, n_organizations=800, total_users=30_000_000)
+
+
+@pytest.fixture(scope="module")
+def small_universe():
+    return generate_universe(SMALL)
+
+
+def test_bench_universe_generation(benchmark):
+    universe = benchmark(lambda: generate_universe(SMALL))
+    assert len(universe.whois) > 800
+
+
+def test_bench_full_pipeline(benchmark, small_universe):
+    def run():
+        pipeline = BorgesPipeline(
+            small_universe.whois, small_universe.pdb, small_universe.web
+        )
+        return pipeline.run().mapping
+
+    mapping = benchmark(run)
+    assert len(mapping) > 0
+
+
+def test_bench_scraper_resolution(benchmark, small_universe):
+    urls = [
+        net.website for net in small_universe.pdb.nets_with_websites()
+    ]
+
+    def resolve_all():
+        scraper = HeadlessScraper(small_universe.web)
+        return sum(1 for url in urls if scraper.resolve(url).ok)
+
+    reachable = benchmark(resolve_all)
+    assert 0 < reachable <= len(urls)
+
+
+def test_bench_org_factor_large_vector(benchmark):
+    # 100k organizations with a heavy tail: θ must stay sub-second.
+    sizes = [1] * 90_000 + [2] * 8_000 + [10] * 1_500 + [500] * 12
+    theta = benchmark(lambda: org_factor(sizes))
+    assert 0.0 < theta < 1.0
+
+
+def test_bench_asrank(benchmark, small_universe):
+    from repro.asrank import compute_rank
+
+    rank = benchmark(lambda: compute_rank(small_universe.topology))
+    assert len(rank) == len(small_universe.topology)

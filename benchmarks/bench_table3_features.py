@@ -1,0 +1,29 @@
+"""Table 3 — ASes and organizations obtained from each Borges feature.
+
+Paper (117k-ASN snapshot): OID_P 30,955/27,712 · OID_W 117,431/95,300 ·
+notes&aka 1,436/847 · R&R 22,523/20,065 · Favicons 1,297/319.
+At the default ≈1:10 scale the shape to reproduce is the ordering:
+OID_W covers everything, OID_P and R&R cover the PDB slice, notes&aka
+and favicons are small but densely grouping (low orgs/ASNs ratio).
+"""
+
+from conftest import run_and_render
+
+
+def test_table3_feature_contributions(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "table3")
+    rows = {row["source"]: row for row in report.rows}
+
+    # OID_W is the compulsory database: it covers every delegated ASN.
+    assert rows["OID_W"]["asns"] == len(ctx.universe.whois)
+    # The web features only see PDB-registered networks.
+    assert rows["R&R"]["asns"] < rows["OID_P"]["asns"] <= len(ctx.universe.pdb)
+    # Favicons and notes&aka are the small, high-density features:
+    # far fewer orgs than ASNs (they exist to group, not to cover).
+    for dense in ("Favicons", "notes and aka"):
+        assert rows[dense]["orgs"] < rows[dense]["asns"]
+    # Favicons group much more densely than R&R (paper: 1297/319 vs
+    # 22523/20065).
+    favicon_density = rows["Favicons"]["orgs"] / rows["Favicons"]["asns"]
+    rr_density = rows["R&R"]["orgs"] / rows["R&R"]["asns"]
+    assert favicon_density < rr_density

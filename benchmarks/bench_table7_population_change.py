@@ -1,0 +1,34 @@
+"""Table 7 — mean AS population of changed vs unchanged organizations.
+
+Paper: 352 changed orgs (of 25,457) with mean users rising from
+3,013,751 (AS2Org) to 3,561,258 (Borges); 25,105 unchanged orgs
+averaging just 117,805 users; total marginal growth 193M users of 4.21B
+(≈5% of the Internet population).  The shape: few orgs change, the
+changed ones are far larger than the unchanged, and the marginal growth
+is a mid-single-digit percentage of the total population.
+"""
+
+from conftest import run_and_render
+
+
+def test_table7_population_change(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "table7")
+    rows = {row["group"]: row for row in report.rows}
+    changed, unchanged = rows["Changed"], rows["Unchanged"]
+
+    # Only a small fraction of organizations is reconfigured.
+    total_orgs = changed["organizations"] + unchanged["organizations"]
+    assert changed["organizations"] / total_orgs < 0.10
+
+    # Changed organizations are much larger than unchanged ones.
+    assert changed["mean_users_as2org"] > 3 * unchanged["mean_users_as2org"]
+    # And Borges makes them larger still.
+    assert changed["mean_users_borges"] > changed["mean_users_as2org"]
+
+    # Total marginal growth ≈5% of the Internet population (paper: 4.6%).
+    from repro.analysis import population_change_summary
+
+    summary = population_change_summary(
+        ctx.borges, ctx.as2org, ctx.universe.apnic
+    )
+    assert 2.0 <= summary.marginal_growth_pct_of_internet <= 9.0

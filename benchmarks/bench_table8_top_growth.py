@@ -1,0 +1,29 @@
+"""Table 8 — top 20 marginal AS population growths.
+
+Paper: led by Deutsche Telekom (+21.6M), Telkom Indonesia (+20.5M),
+Charter, Virgin, TIGO, Claro...  The shape: the top rows are the
+multinational access conglomerates the universe plants (Deutsche
+Telekom, Telkom Indonesia, TIGO, Claro, Digicel), each gaining a large
+fraction of its merged population.
+"""
+
+from conftest import run_and_render
+
+#: Canonical conglomerates that must surface among the top growths.
+EXPECTED_LEADERS = ("Digicel", "Tigo", "Claro", "Telekom", "Telkom")
+
+
+def test_table8_top_population_growth(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "table8")
+    assert len(report.rows) == 20
+
+    companies = " | ".join(str(row["company"]) for row in report.rows)
+    hits = sum(1 for name in EXPECTED_LEADERS if name in companies)
+    assert hits >= 3, companies
+
+    # Rows sorted by difference; each difference consistent.
+    diffs = [row["difference"] for row in report.rows]
+    assert diffs == sorted(diffs, reverse=True)
+    for row in report.rows:
+        assert row["difference"] == row["borges_users"] - row["as2org_users"]
+        assert row["difference"] > 0

@@ -1,0 +1,27 @@
+"""Table 9 — top 20 country-level footprint growths.
+
+Paper: Digicel 4 → 25 countries (+21) leads by far; Deutsche Telekom
+3 → 14; Claro 1 → 6; 101 orgs expand with mean +2.37 countries.  The
+shape: Digicel leads, Caribbean/LatAm conglomerates populate the top,
+and the mean marginal increase is a small number of countries.
+"""
+
+from conftest import run_and_render
+
+
+def test_table9_footprint_growth(benchmark, ctx):
+    report = run_and_render(benchmark, ctx, "table9")
+    assert report.rows
+
+    top = report.rows[0]
+    assert "Digicel" in str(top["company"])
+    # Digicel: 4 WHOIS-visible countries → ≈25 under Borges (paper: +21).
+    assert top["as2org_countries"] == 4
+    assert top["borges_countries"] >= 18
+    assert top["difference"] >= 14
+
+    from repro.analysis import footprint_summary
+
+    summary = footprint_summary(ctx.borges, ctx.as2org, ctx.universe.apnic)
+    assert summary.expanded_count >= 10
+    assert 1.0 <= summary.mean_marginal_countries <= 6.0  # paper: 2.37

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Auditing a Borges mapping: evidence, confidence, and correctness.
+
+A production AS-to-Org dataset needs three audit answers that θ alone
+cannot give:
+
+1. *Why* are two ASNs mapped together?  — the evidence chain;
+2. *How strongly* is each merge supported? — the confidence grades;
+3. *How correct* is the mapping overall? — partition scores against the
+   (synthetic) ground truth, the check §5.4 says the real world lacks.
+
+Run:  python examples/audit_mapping.py
+"""
+
+from collections import Counter
+
+from repro import BorgesPipeline, build_as2org_mapping, generate_universe
+from repro.analysis.ground_truth import score_mapping_against_truth
+from repro.config import UniverseConfig
+from repro.core.evidence import MappingExplainer, collect_evidence
+from repro.universe.canonical import (
+    AS_CENTURYLINK,
+    AS_CLEARWIRE,
+    AS_LUMEN,
+    AS_TMOBILE_US,
+)
+
+
+def main() -> None:
+    universe = generate_universe(UniverseConfig(n_organizations=1500))
+    pipeline = BorgesPipeline(universe.whois, universe.pdb, universe.web)
+    result = pipeline.run()
+    mapping = result.mapping
+
+    print("=== 1. why: evidence chains ===")
+    explainer = MappingExplainer(
+        collect_evidence(result, universe.whois, universe.pdb)
+    )
+    for a, b in ((AS_LUMEN, AS_CENTURYLINK), (AS_CLEARWIRE, AS_TMOBILE_US)):
+        chain = explainer.why_siblings(a, b) or []
+        print(f"AS{a} ~ AS{b} ({explainer.confidence(a, b)}):")
+        for item in chain:
+            print(f"   {item.describe()}")
+
+    print("\n=== 2. how strongly: confidence census ===")
+    grades = Counter()
+    for cluster in mapping.multi_asn_clusters()[:400]:
+        members = sorted(cluster)
+        grades[explainer.confidence(members[0], members[-1])] += 1
+    for grade, count in grades.most_common():
+        print(f"   {grade:<14} {count}")
+
+    print("\n=== 3. how correct: scores vs ground truth ===")
+    for name, candidate in (
+        ("AS2Org", build_as2org_mapping(universe.whois)),
+        ("Borges", mapping),
+    ):
+        scores = score_mapping_against_truth(candidate, universe.ground_truth)
+        print(
+            f"   {name:<8} pair-precision={scores.pair_precision:.4f} "
+            f"pair-recall={scores.pair_recall:.4f} "
+            f"ARI={scores.adjusted_rand:.4f} "
+            f"V-measure={scores.v_measure:.4f}"
+        )
+    print(
+        "\nthe paper's claim in one line: Borges's extra recall comes at "
+        "essentially no precision cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

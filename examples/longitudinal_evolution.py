@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Watching organizational structure evolve (the paper's future work, §7).
+
+The paper cannot study evolution ("no longitudinal archive of websites
+referenced in PeeringDB exists"); the synthetic universe has a full
+corporate timeline, so this example builds historical snapshots — each
+year's WHOIS/PeeringDB/web state with only the acquisitions completed by
+then — runs Borges on every snapshot, and reports:
+
+* θ and organization count per year (consolidation in numbers),
+* the detected merge events between consecutive years,
+* the Fig. 1-style story for the planted canonical histories
+  (CenturyLink → Lumen in 2016, Clearwire → T-Mobile in 2020,
+  Edgecast → Edgio in 2022).
+
+Run:  python examples/longitudinal_evolution.py
+"""
+
+from repro.config import UniverseConfig
+from repro.longitudinal import build_snapshot_series, run_longitudinal_study
+from repro.universe import generate_universe
+from repro.universe.canonical import (
+    AS_CENTURYLINK,
+    AS_CLEARWIRE,
+    AS_EDGECAST,
+    AS_LIMELIGHT,
+    AS_LUMEN,
+    AS_TMOBILE_US,
+)
+
+STORIES = {
+    "CenturyLink joins Lumen (2016)": (AS_LUMEN, AS_CENTURYLINK),
+    "Clearwire joins T-Mobile (2020)": (AS_CLEARWIRE, AS_TMOBILE_US),
+    "Edgecast joins Edgio (2022)": (AS_EDGECAST, AS_LIMELIGHT),
+}
+
+
+def main() -> None:
+    universe = generate_universe(UniverseConfig(n_organizations=1000))
+    series = build_snapshot_series(
+        universe, years=(2008, 2015, 2017, 2021, 2024)
+    )
+    print("building historical snapshots:", ", ".join(map(str, series.years)))
+    for snapshot in series.snapshots:
+        print(
+            f"  as of {snapshot.year}: "
+            f"{len(snapshot.pending_brand_ids)} acquisitions still pending"
+        )
+
+    report = run_longitudinal_study(series)
+
+    print("\ntheta and organization count per year:")
+    for result in report.results:
+        bar = "#" * int((result.theta - 0.3) * 200)
+        print(
+            f"  {result.year}: theta={result.theta:.4f} "
+            f"orgs={result.org_count:,}  {bar}"
+        )
+
+    print("\ncanonical merger stories (sibling verdict per year):")
+    for label, (a, b) in STORIES.items():
+        verdicts = [
+            f"{r.year}:{'Y' if r.mapping.are_siblings(a, b) else 'n'}"
+            for r in report.results
+        ]
+        print(f"  {label:<34} {'  '.join(verdicts)}")
+
+    print(f"\ndetected merge events between snapshots: {len(report.merges)}")
+    for event in report.merges[:8]:
+        components = " + ".join(
+            f"{{{', '.join(f'AS{a}' for a in sorted(c)[:3])}"
+            f"{', ...' if len(c) > 3 else ''}}}"
+            for c in event.prior_components[:3]
+        )
+        print(
+            f"  {event.year_from}->{event.year_to}: {components} "
+            f"=> {len(event.merged_cluster)}-network organization"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Tracking mergers & acquisitions through registry and web signals.
+
+The paper motivates Borges with the Level3 → CenturyLink → Lumen history
+(Fig. 1) and the Clearwire → Sprint → T-Mobile redirect chain (Fig. 5b).
+This example walks those exact planted scenarios:
+
+1. shows the WHOIS view (fragmented legal entities — what AS2Org sees),
+2. shows the PeeringDB organization view (Fig. 3's consolidation),
+3. follows the live redirect chains with the headless scraper,
+4. runs Borges and prints the recovered organization for each ASN.
+
+Run:  python examples/merger_tracking.py
+"""
+
+from repro import BorgesPipeline, generate_universe
+from repro.config import UniverseConfig
+from repro.universe.canonical import (
+    AS_CENTURYLINK,
+    AS_CLEARWIRE,
+    AS_EDGECAST,
+    AS_LIMELIGHT,
+    AS_LUMEN,
+    AS_TMOBILE_US,
+)
+from repro.web.scraper import HeadlessScraper
+
+CASES = {
+    "Lumen / CenturyLink (Fig. 3)": (AS_LUMEN, AS_CENTURYLINK),
+    "Edgecast / Limelight (Fig. 5a)": (AS_EDGECAST, AS_LIMELIGHT),
+    "Clearwire / T-Mobile (Fig. 5b)": (AS_CLEARWIRE, AS_TMOBILE_US),
+}
+
+
+def main() -> None:
+    universe = generate_universe(UniverseConfig(n_organizations=1000))
+    whois, pdb, web = universe.whois, universe.pdb, universe.web
+
+    print("=== registry views ===")
+    for label, (a, b) in CASES.items():
+        whois_same = whois.org_id_of(a) == whois.org_id_of(b)
+        pdb_same = (
+            a in pdb and b in pdb
+            and pdb.nets[a].org_id == pdb.nets[b].org_id
+        )
+        print(f"{label}:")
+        print(f"  AS{a} WHOIS org: {whois.org_id_of(a)} ({whois.org_name_of(a)})")
+        print(f"  AS{b} WHOIS org: {whois.org_id_of(b)} ({whois.org_name_of(b)})")
+        print(f"  same WHOIS org? {whois_same}   same PeeringDB org? {pdb_same}")
+
+    print("\n=== redirect chains (headless browser) ===")
+    scraper = HeadlessScraper(web)
+    for url in (
+        "https://www.centurylink.com/",
+        "https://www.edgecast.com/",
+        "https://www.clearwire.com/",
+    ):
+        result = scraper.resolve(url)
+        chain = "  ->  ".join(result.chain)
+        print(f"  {chain}")
+
+    print("\n=== Borges verdicts ===")
+    mapping = BorgesPipeline(whois, pdb, web).run().mapping
+    for label, (a, b) in CASES.items():
+        siblings = mapping.are_siblings(a, b)
+        cluster = sorted(mapping.cluster_of(a))
+        print(f"{label}: siblings={siblings}")
+        print(f"  organization of AS{a}: {cluster} ({mapping.org_name_of(a)})")
+
+
+if __name__ == "__main__":
+    main()

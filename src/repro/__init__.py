@@ -1,0 +1,54 @@
+"""Borges — Better ORGanizations Entities mappingS (IMC 2025 reproduction).
+
+A framework for improving AS-to-Organization mappings by combining WHOIS
+and PeeringDB organization keys with LLM-based extraction of sibling
+ASNs from free text and website-based inference (redirect chains, domain
+similarity, favicon analysis).
+
+Quickstart::
+
+    from repro import generate_universe, BorgesPipeline, org_factor_from_mapping
+
+    universe = generate_universe()                    # offline synthetic inputs
+    pipeline = BorgesPipeline(universe.whois, universe.pdb, universe.web)
+    result = pipeline.run()
+    print(org_factor_from_mapping(result.mapping))    # the theta metric
+
+The package layout mirrors the system: substrates (``peeringdb``,
+``whois``, ``web``, ``llm``, ``apnic``, ``asrank``), the synthetic-world
+generator (``universe``), the baselines (``baselines``), the Borges core
+(``core``), metrics and analyses (``metrics``, ``analysis``), and the
+experiment harness (``experiments``).
+"""
+
+from .config import (
+    ALL_FEATURES,
+    BorgesConfig,
+    LLMConfig,
+    ScraperConfig,
+    UniverseConfig,
+)
+from .core import BorgesPipeline, BorgesResult, OrgMapping
+from .baselines import build_as2org_mapping, build_as2orgplus_mapping
+from .metrics import org_factor, org_factor_from_mapping
+from .universe import Universe, generate_universe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_FEATURES",
+    "BorgesConfig",
+    "LLMConfig",
+    "ScraperConfig",
+    "UniverseConfig",
+    "BorgesPipeline",
+    "BorgesResult",
+    "OrgMapping",
+    "build_as2org_mapping",
+    "build_as2orgplus_mapping",
+    "org_factor",
+    "org_factor_from_mapping",
+    "Universe",
+    "generate_universe",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Evaluation analyses: one module per table/figure family of the paper.
+
+* :mod:`repro.analysis.features_table` — Table 3 (per-feature ASes/orgs)
+* :mod:`repro.analysis.validation` — Tables 4–5 (LLM-stage accuracy)
+* :mod:`repro.analysis.factor_table` — Table 6 (θ for all combos) + Fig. 7
+* :mod:`repro.analysis.access` — Tables 7–8 (population changes)
+* :mod:`repro.analysis.transit` — Fig. 8 (marginal growth vs AS-Rank)
+* :mod:`repro.analysis.hypergiants` — Fig. 9 (hypergiant org sizes)
+* :mod:`repro.analysis.footprint` — Table 9 (country footprints)
+"""
+
+from .access import population_change_summary, top_population_growth
+from .factor_table import factor_combination_table, theta_curves
+from .features_table import feature_contribution_table
+from .footprint import footprint_growth, footprint_summary
+from .ground_truth import ground_truth_table, score_mapping_against_truth
+from .hypergiants import hypergiant_sizes
+from .model_comparison import model_comparison_table
+from .transit import transit_marginal_growth
+from .validation import validate_classifier, validate_extraction
+
+__all__ = [
+    "ground_truth_table",
+    "score_mapping_against_truth",
+    "model_comparison_table",
+    "population_change_summary",
+    "top_population_growth",
+    "factor_combination_table",
+    "theta_curves",
+    "feature_contribution_table",
+    "footprint_growth",
+    "footprint_summary",
+    "hypergiant_sizes",
+    "transit_marginal_growth",
+    "validate_classifier",
+    "validate_extraction",
+]

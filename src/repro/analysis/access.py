@@ -1,0 +1,127 @@
+"""Tables 7–8: Borges's impact on access-network populations.
+
+Joins the Borges and AS2Org mappings with the APNIC-style population
+dataset.  A Borges organization "changed" when its composition differs
+from every AS2Org organization; for changed organizations we report the
+population of the largest prior (AS2Org) component versus the merged
+(Borges) total, and the *marginal growth* — merged total minus largest
+prior component (§6.1's definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..apnic import ApnicDataset
+from ..core.mapping import OrgMapping
+from ..metrics.growth import baseline_components
+from ..types import Cluster
+
+
+@dataclass(frozen=True)
+class ChangedOrg:
+    """One reconfigured organization with its population accounting."""
+
+    cluster: Cluster
+    name: str
+    users_borges: int
+    users_largest_prior: int
+
+    @property
+    def marginal_growth(self) -> int:
+        return max(0, self.users_borges - self.users_largest_prior)
+
+
+@dataclass
+class PopulationChangeSummary:
+    """Table 7's rows plus the aggregate §6.1 reports."""
+
+    changed_count: int
+    unchanged_count: int
+    mean_users_changed_as2org: float
+    mean_users_changed_borges: float
+    mean_users_unchanged: float
+    total_marginal_growth: int
+    total_users: int
+
+    @property
+    def marginal_growth_pct_of_internet(self) -> float:
+        if not self.total_users:
+            return 0.0
+        return 100.0 * self.total_marginal_growth / self.total_users
+
+
+def changed_orgs(
+    borges: OrgMapping,
+    as2org: OrgMapping,
+    apnic: ApnicDataset,
+) -> List[ChangedOrg]:
+    """All Borges organizations whose composition changed, with users."""
+    result: List[ChangedOrg] = []
+    for cluster in borges.changed_clusters_vs(as2org):
+        components = baseline_components(cluster, as2org.cluster_of)
+        users_total = apnic.users_of_group(cluster)
+        users_largest = max(
+            (apnic.users_of_group(component) for component in components),
+            default=0,
+        )
+        result.append(
+            ChangedOrg(
+                cluster=cluster,
+                name=borges.org_name_of(min(cluster)),
+                users_borges=users_total,
+                users_largest_prior=users_largest,
+            )
+        )
+    return result
+
+
+def population_change_summary(
+    borges: OrgMapping,
+    as2org: OrgMapping,
+    apnic: ApnicDataset,
+) -> PopulationChangeSummary:
+    """Table 7: changed vs unchanged organizations and their mean users."""
+    changed = changed_orgs(borges, as2org, apnic)
+    changed_clusters = {c.cluster for c in changed}
+    unchanged = [
+        cluster for cluster in borges.clusters()
+        if cluster not in changed_clusters
+    ]
+    def mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return PopulationChangeSummary(
+        changed_count=len(changed),
+        unchanged_count=len(unchanged),
+        mean_users_changed_as2org=mean([c.users_largest_prior for c in changed]),
+        mean_users_changed_borges=mean([c.users_borges for c in changed]),
+        mean_users_unchanged=mean(
+            [apnic.users_of_group(cluster) for cluster in unchanged]
+        ),
+        total_marginal_growth=sum(c.marginal_growth for c in changed),
+        total_users=apnic.total_users,
+    )
+
+
+def top_population_growth(
+    borges: OrgMapping,
+    as2org: OrgMapping,
+    apnic: ApnicDataset,
+    top_n: int = 20,
+) -> List[Dict[str, object]]:
+    """Table 8: the top-N organizations by marginal population growth."""
+    changed = changed_orgs(borges, as2org, apnic)
+    changed.sort(key=lambda c: (-c.marginal_growth, c.name))
+    rows: List[Dict[str, object]] = []
+    for org in changed[:top_n]:
+        rows.append(
+            {
+                "company": org.name,
+                "as2org_users": org.users_largest_prior,
+                "borges_users": org.users_borges,
+                "difference": org.marginal_growth,
+            }
+        )
+    return rows

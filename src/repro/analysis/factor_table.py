@@ -1,0 +1,90 @@
+"""Table 6 and Figure 7: Organization Factor across feature combinations.
+
+Table 6 reports θ for AS2Org, as2org+, and every subset of Borges's four
+features; Figure 7 illustrates θ's construction via cumulative curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines import build_as2org_mapping, build_as2orgplus_mapping
+from ..config import BorgesConfig, all_feature_combos, feature_combo_label
+from ..core.pipeline import BorgesPipeline
+from ..llm.cache import ResponseCache
+from ..llm.simulated import make_default_client
+from ..metrics.org_factor import (
+    cumulative_curve,
+    org_factor_from_mapping,
+    singleton_curve,
+)
+from ..peeringdb import PDBSnapshot
+from ..web.simweb import SimulatedWeb
+from ..whois import WhoisDataset
+
+
+def factor_combination_table(
+    whois: WhoisDataset,
+    pdb: PDBSnapshot,
+    web: SimulatedWeb,
+    config: Optional[BorgesConfig] = None,
+    normalization: str = "normalized",
+) -> List[Dict[str, object]]:
+    """θ for the baselines and all 16 feature subsets (Table 6).
+
+    A shared LLM cache makes the sweep cheap: the notes/aka and favicon
+    prompts are identical across combinations, so the model runs once.
+    """
+    base_config = (config or BorgesConfig()).validate()
+    cache = ResponseCache()
+    client = make_default_client(base_config.llm, cache=cache)
+
+    rows: List[Dict[str, object]] = []
+    as2org = build_as2org_mapping(whois)
+    baseline_theta = org_factor_from_mapping(as2org, normalization)
+    rows.append(
+        {
+            "method": "AS2Org (baseline)",
+            "theta": baseline_theta,
+            "vs_baseline_pct": 0.0,
+        }
+    )
+    as2orgplus = build_as2orgplus_mapping(whois, pdb)
+    plus_theta = org_factor_from_mapping(as2orgplus, normalization)
+    rows.append(
+        {
+            "method": "as2org+",
+            "theta": plus_theta,
+            "vs_baseline_pct": 100.0 * (plus_theta / baseline_theta - 1.0),
+        }
+    )
+    for combo in all_feature_combos():
+        if not combo:
+            continue  # the empty subset is AS2Org itself
+        combo_config = base_config.with_features(*combo)
+        pipeline = BorgesPipeline(
+            whois, pdb, web, config=combo_config, client=client
+        )
+        mapping = pipeline.run().mapping
+        theta = org_factor_from_mapping(mapping, normalization)
+        rows.append(
+            {
+                "method": feature_combo_label(combo),
+                "theta": theta,
+                "vs_baseline_pct": 100.0 * (theta / baseline_theta - 1.0),
+            }
+        )
+    return rows
+
+
+def theta_curves(
+    whois: WhoisDataset,
+    as2org_mapping=None,
+) -> Dict[str, Tuple[List[int], List[int]]]:
+    """The two Fig. 7 series: all-singletons vs the AS2Org clustering."""
+    mapping = as2org_mapping or build_as2org_mapping(whois)
+    n = mapping.universe_size
+    return {
+        "singletons": singleton_curve(n),
+        "as2org": cumulative_curve(mapping.sizes(), pad_to=n),
+    }

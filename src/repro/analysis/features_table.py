@@ -1,0 +1,38 @@
+"""Table 3: the individual contribution of each Borges feature.
+
+For every feature — OID_P, OID_W, notes & aka, R&R, favicons — count how
+many ASNs the feature says anything about and how many organizations it
+forms on its own (after consolidating overlaps within the feature).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.pipeline import BorgesResult
+
+#: Table 3's row order and display labels.
+ROW_ORDER = (
+    ("oid_p", "OID_P"),
+    ("oid_w", "OID_W"),
+    ("notes_aka", "notes and aka"),
+    ("rr", "R&R"),
+    ("favicons", "Favicons"),
+)
+
+
+def feature_contribution_table(result: BorgesResult) -> List[Dict[str, object]]:
+    """Rows of Table 3 from one pipeline run."""
+    rows: List[Dict[str, object]] = []
+    for key, label in ROW_ORDER:
+        feature = result.features.get(key)
+        if feature is None:
+            continue
+        rows.append(
+            {
+                "source": label,
+                "asns": feature.asn_count,
+                "orgs": feature.org_count,
+            }
+        )
+    return rows

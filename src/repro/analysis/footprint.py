@@ -1,0 +1,82 @@
+"""Table 9: country-level footprints of international conglomerates.
+
+The footprint of an organization is the number of countries where the
+APNIC-style estimates see users for its member ASNs.  Borges's merges
+expand footprints when subsidiaries operate in different countries; the
+analysis compares each changed organization's merged footprint against
+its largest prior (AS2Org) component's footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..apnic import ApnicDataset
+from ..core.mapping import OrgMapping
+from ..metrics.growth import baseline_components
+
+
+@dataclass
+class FootprintSummary:
+    """§6.2's aggregate: how many orgs expanded, and by how much."""
+
+    expanded_count: int
+    mean_marginal_countries: float
+
+
+def _footprint_rows(
+    borges: OrgMapping,
+    as2org: OrgMapping,
+    apnic: ApnicDataset,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for cluster in borges.changed_clusters_vs(as2org):
+        borges_countries = apnic.countries_of_group(cluster)
+        if not borges_countries:
+            continue
+        components = baseline_components(cluster, as2org.cluster_of)
+        prior = max(
+            (len(apnic.countries_of_group(c)) for c in components),
+            default=0,
+        )
+        difference = len(borges_countries) - prior
+        if difference <= 0:
+            continue
+        rows.append(
+            {
+                "company": borges.org_name_of(min(cluster)),
+                "as2org_countries": prior,
+                "borges_countries": len(borges_countries),
+                "difference": difference,
+            }
+        )
+    rows.sort(key=lambda r: (-int(r["difference"]), str(r["company"])))
+    return rows
+
+
+def footprint_growth(
+    borges: OrgMapping,
+    as2org: OrgMapping,
+    apnic: ApnicDataset,
+    top_n: int = 20,
+) -> List[Dict[str, object]]:
+    """Table 9: the top-N organizations by country-footprint growth."""
+    return _footprint_rows(borges, as2org, apnic)[:top_n]
+
+
+def footprint_summary(
+    borges: OrgMapping,
+    as2org: OrgMapping,
+    apnic: ApnicDataset,
+) -> FootprintSummary:
+    """§6.2's headline: expanded-org count and mean marginal increase."""
+    rows = _footprint_rows(borges, as2org, apnic)
+    if not rows:
+        return FootprintSummary(expanded_count=0, mean_marginal_countries=0.0)
+    return FootprintSummary(
+        expanded_count=len(rows),
+        mean_marginal_countries=(
+            sum(int(r["difference"]) for r in rows) / len(rows)
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Beyond-θ evaluation: scoring mappings against the ground truth.
+
+The paper cannot do this (no ground truth exists for real AS-to-Org
+mappings); the synthetic universe knows the truth, so this analysis
+reports what θ cannot — whether Borges's extra merges are *correct* —
+for AS2Org, as2org+ and every Borges feature subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import all_feature_combos, feature_combo_label
+from ..core.mapping import OrgMapping
+from ..core.pipeline import BorgesPipeline
+from ..metrics.partition import PartitionScores, score_partition
+from ..universe.entities import GroundTruth
+
+
+def score_mapping_against_truth(
+    mapping: OrgMapping, ground_truth: GroundTruth
+) -> PartitionScores:
+    """Partition scores of one mapping vs the true organization partition."""
+    return score_partition(mapping.clusters(), ground_truth.true_clusters())
+
+
+def ground_truth_table(
+    context,  # ExperimentContext; untyped to avoid a circular import
+    include_combos: bool = False,
+) -> List[Dict[str, object]]:
+    """Rows comparing every method's partition quality against truth.
+
+    With ``include_combos`` the 15 non-empty feature subsets are scored
+    too (slower: one pipeline run each, LLM cache shared).
+    """
+    ground_truth = context.universe.ground_truth
+    rows: List[Dict[str, object]] = []
+
+    def add_row(name: str, mapping: OrgMapping) -> None:
+        row: Dict[str, object] = {"method": name}
+        row.update(score_mapping_against_truth(mapping, ground_truth).as_row())
+        rows.append(row)
+
+    add_row("AS2Org", context.as2org)
+    add_row("as2org+", context.as2orgplus)
+    add_row("Borges", context.borges)
+
+    if include_combos:
+        base_config = context.pipeline.config
+        for combo in all_feature_combos():
+            if not combo or combo == base_config.features:
+                continue
+            config = base_config.with_features(*combo)
+            pipeline = BorgesPipeline(
+                context.universe.whois,
+                context.universe.pdb,
+                context.universe.web,
+                config=config,
+                client=context.pipeline.client,
+            )
+            add_row(feature_combo_label(combo), pipeline.run().mapping)
+    return rows

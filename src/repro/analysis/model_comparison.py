@@ -1,0 +1,58 @@
+"""Model-comparison analysis: mapping quality across the simulated zoo.
+
+For every profile in :data:`repro.llm.model_zoo.MODEL_ZOO`, run the
+extraction-stage validation (Table 4's protocol), the full pipeline, and
+report extraction accuracy, θ, ground-truth pair precision/recall, and
+estimated model spend — the table a practitioner needs to pick a model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import BorgesConfig
+from ..core.ner import NERModule
+from ..core.pipeline import BorgesPipeline
+from ..llm.model_zoo import MODEL_ZOO
+from ..llm.simulated import make_default_client
+from ..metrics.org_factor import org_factor_from_mapping
+from ..metrics.partition import score_partition
+from .validation import validate_extraction
+
+
+def model_comparison_table(context) -> List[Dict[str, object]]:
+    """One row per zoo model (context: ExperimentContext)."""
+    universe = context.universe
+    truth = universe.ground_truth.true_clusters()
+    rows: List[Dict[str, object]] = []
+    for name in sorted(MODEL_ZOO):
+        profile = MODEL_ZOO[name]
+        llm_config = profile.llm_config()
+        config = BorgesConfig(llm=llm_config)
+        client = make_default_client(llm_config)
+
+        ner = NERModule(client, config)
+        validation = validate_extraction(
+            ner, universe.pdb, universe.annotations
+        )
+
+        pipeline = BorgesPipeline(
+            universe.whois, universe.pdb, universe.web,
+            config=config, client=client,
+        )
+        mapping = pipeline.run().mapping
+        scores = score_partition(mapping.clusters(), truth)
+        usage = client.total_usage
+        rows.append(
+            {
+                "model": name,
+                "extract_accuracy": round(validation.counts.accuracy, 3),
+                "theta": round(org_factor_from_mapping(mapping), 4),
+                "pair_precision": round(scores.pair_precision, 4),
+                "pair_recall": round(scores.pair_recall, 4),
+                "relative_cost": round(
+                    usage.cost_usd() * profile.cost_multiplier, 4
+                ),
+            }
+        )
+    return rows

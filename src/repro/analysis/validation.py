@@ -1,0 +1,184 @@
+"""Tables 4–5: validating the two LLM stages against annotations.
+
+The paper validated by manual inspection (320 notes/aka records, 449
+favicon groups).  Offline, the universe's ground-truth annotations play
+the human annotator: they record which numbers in each record truly are
+sibling ASNs and which favicons truly are company logos.  The LLM (and
+the decision tree around it) never sees these labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.ner import NERModule, NERRecordResult
+from ..core.web_inference import FaviconDecision, WebInferenceResult
+from ..llm.classifier_engine import decode_brand
+from ..metrics.confusion import ConfusionCounts
+from ..peeringdb import PDBSnapshot
+from ..types import ASN
+from ..universe.generator import Annotations
+from ..web.favicon import FaviconAPI
+
+
+@dataclass
+class ExtractionValidation:
+    """Table 4's content plus per-record detail for error analysis."""
+
+    counts: ConfusionCounts
+    sample_size: int
+    #: (asn, kind) for every mis-scored record: kind in {"fp", "fn"}.
+    errors: List[Tuple[ASN, str]] = field(default_factory=list)
+
+
+def score_extraction_record(
+    result: NERRecordResult, truth: Sequence[ASN]
+) -> str:
+    """Classify one record's extraction outcome: tp/tn/fp/fn.
+
+    Mirrors §5.3: a record is an FP when any extracted number is not a
+    true sibling (misread decoy or upstream); an FN when a truly reported
+    sibling was missed; TP when extraction matches; TN when there was
+    nothing to extract and nothing was extracted.
+    """
+    extracted: Set[ASN] = set(result.siblings)
+    true_set: Set[ASN] = set(truth)
+    if extracted - true_set:
+        return "fp"
+    if true_set - extracted:
+        return "fn"
+    if true_set:
+        return "tp"
+    return "tn"
+
+
+def validate_extraction(
+    ner: NERModule,
+    pdb: PDBSnapshot,
+    annotations: Annotations,
+    sample_size: int = 320,
+    seed: int = 99,
+) -> ExtractionValidation:
+    """Run the extraction stage over an annotated sample (Table 4).
+
+    The sample is drawn from records whose notes/aka contain digits —
+    the same population the paper manually inspected.
+    """
+    numeric_nets = [
+        net for net in pdb.networks()
+        if net.freeform_text and any(ch.isdigit() for ch in net.freeform_text)
+    ]
+    rng = random.Random(("validation", seed).__repr__())
+    if sample_size and len(numeric_nets) > sample_size:
+        numeric_nets = rng.sample(numeric_nets, sample_size)
+    counts = ConfusionCounts()
+    errors: List[Tuple[ASN, str]] = []
+    for net in numeric_nets:
+        result = ner.extract_record(net)
+        truth = annotations.notes_truth.get(net.asn, ())
+        outcome = score_extraction_record(result, truth)
+        setattr(counts, outcome, getattr(counts, outcome) + 1)
+        if outcome in ("fp", "fn"):
+            errors.append((net.asn, outcome))
+    return ExtractionValidation(
+        counts=counts, sample_size=len(numeric_nets), errors=errors
+    )
+
+
+@dataclass
+class ClassifierValidation:
+    """Table 5's content: per-step and overall confusion counts."""
+
+    step1: ConfusionCounts
+    step2: ConfusionCounts
+    overall: ConfusionCounts
+    groups_reviewed: int
+
+
+def _group_truth(
+    decision_urls: Sequence[str],
+    favicon_api: FaviconAPI,
+    annotations: Annotations,
+) -> Optional[bool]:
+    """Ground truth for one favicon group: is this a real company's logo?"""
+    for url in decision_urls:
+        record = favicon_api.fetch(url)
+        if record is None:
+            continue
+        brand = decode_brand(record.content)
+        if brand in annotations.favicon_company:
+            return annotations.favicon_company[brand]
+    return None
+
+
+def validate_classifier(
+    web_result: WebInferenceResult,
+    favicon_api: FaviconAPI,
+    annotations: Annotations,
+) -> ClassifierValidation:
+    """Score the favicon decision tree per step and overall (Table 5).
+
+    Step 1 is the strict same-favicon + same-brand-token rule; its false
+    negatives are the groups handed to step 2 (the LLM), as in the paper.
+    """
+    step1 = ConfusionCounts()
+    step2 = ConfusionCounts()
+    overall = ConfusionCounts()
+    # Collate decisions per favicon digest.
+    by_favicon: Dict[str, List[FaviconDecision]] = {}
+    for decision in web_result.decisions:
+        by_favicon.setdefault(decision.favicon, []).append(decision)
+
+    reviewed = 0
+    for digest in sorted(by_favicon):
+        decisions = by_favicon[digest]
+        urls: List[str] = []
+        for decision in decisions:
+            urls.extend(decision.urls)
+        truth = _group_truth(urls, favicon_api, annotations)
+        if truth is None:
+            continue
+        reviewed += 1
+        step1_grouped = any(d.step == "same_subdomain" for d in decisions)
+        llm_decisions = [
+            d for d in decisions if d.step in ("llm_company", "llm_rejected")
+        ]
+        llm_grouped = any(d.step == "llm_company" for d in decisions)
+
+        # Step 1 scoring.
+        if step1_grouped and truth:
+            step1.tp += 1
+        elif step1_grouped and not truth:
+            step1.fp += 1
+        elif not step1_grouped and truth:
+            step1.fn += 1
+        else:
+            step1.tn += 1
+
+        # Step 2 scores only the groups step 1 left behind.
+        if not step1_grouped and llm_decisions:
+            if llm_grouped and truth:
+                step2.tp += 1
+            elif llm_grouped and not truth:
+                step2.fp += 1
+            elif not llm_grouped and truth:
+                step2.fn += 1
+            else:
+                step2.tn += 1
+
+        # Overall: grouped by either step.
+        grouped = step1_grouped or llm_grouped
+        if grouped and truth:
+            overall.tp += 1
+        elif grouped and not truth:
+            overall.fp += 1
+        elif not grouped and truth:
+            overall.fn += 1
+        else:
+            overall.tn += 1
+
+    return ClassifierValidation(
+        step1=step1, step2=step2, overall=overall, groups_reviewed=reviewed
+    )

@@ -1,0 +1,11 @@
+"""APNIC-style per-AS user population estimates (offline stand-in).
+
+The paper joins AS2Org mappings with APNIC's "How big is that network?"
+per-AS eyeball estimates.  Offline, the universe generator assigns
+heavy-tailed user counts per access ASN, per country; this package holds
+the dataset container and its aggregation queries.
+"""
+
+from .population import ApnicDataset, PopulationRecord
+
+__all__ = ["ApnicDataset", "PopulationRecord"]

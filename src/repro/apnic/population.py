@@ -1,0 +1,131 @@
+"""Per-AS user population dataset (the APNIC estimates analogue).
+
+One record per (ASN, country): APNIC's real dataset estimates users of an
+AS per economy, which is what the country-footprint analysis (Table 9)
+needs.  Aggregations by ASN and by arbitrary ASN groupings serve the
+population analyses (Tables 7–8).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Set, Union
+
+from ..errors import DataError
+from ..types import ASN, CountryCode
+
+
+@dataclass(frozen=True)
+class PopulationRecord:
+    """Estimated users of one AS in one country."""
+
+    asn: ASN
+    country: CountryCode
+    users: int
+
+    def validate(self) -> "PopulationRecord":
+        if self.users < 0:
+            raise DataError(f"AS{self.asn}/{self.country}: negative users")
+        if not self.country:
+            raise DataError(f"AS{self.asn}: empty country")
+        return self
+
+
+class ApnicDataset:
+    """All population records, indexed by ASN."""
+
+    def __init__(self, records: Iterable[PopulationRecord] = ()) -> None:
+        self._by_asn: Dict[ASN, List[PopulationRecord]] = {}
+        self._total = 0
+        for record in records:
+            self.add(record)
+
+    def add(self, record: PopulationRecord) -> None:
+        record.validate()
+        bucket = self._by_asn.setdefault(record.asn, [])
+        if any(r.country == record.country for r in bucket):
+            raise DataError(
+                f"duplicate population record for AS{record.asn}/{record.country}"
+            )
+        bucket.append(record)
+        self._total += record.users
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_asn.values())
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def asns(self) -> List[ASN]:
+        return sorted(self._by_asn)
+
+    def records(self) -> Iterator[PopulationRecord]:
+        for asn in self.asns():
+            for record in sorted(self._by_asn[asn], key=lambda r: r.country):
+                yield record
+
+    @property
+    def total_users(self) -> int:
+        """The global Internet population covered by the dataset."""
+        return self._total
+
+    def users_of(self, asn: ASN) -> int:
+        """Total users of one AS across all countries (0 if unknown)."""
+        return sum(r.users for r in self._by_asn.get(asn, ()))
+
+    def countries_of(self, asn: ASN) -> Set[CountryCode]:
+        """Countries where this AS has a non-zero user estimate."""
+        return {r.country for r in self._by_asn.get(asn, ()) if r.users > 0}
+
+    def users_of_group(self, asns: Iterable[ASN]) -> int:
+        """Total users of an ASN group (an organization's population)."""
+        return sum(self.users_of(asn) for asn in set(asns))
+
+    def countries_of_group(self, asns: Iterable[ASN]) -> Set[CountryCode]:
+        """Country footprint of an ASN group (Table 9's unit)."""
+        footprint: Set[CountryCode] = set()
+        for asn in set(asns):
+            footprint |= self.countries_of(asn)
+        return footprint
+
+    # -- serialization (CSV, like APNIC's published tables) ----------------
+
+    CSV_HEADER = ("asn", "country", "users")
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.CSV_HEADER)
+        for record in self.records():
+            writer.writerow((record.asn, record.country, record.users))
+        return buffer.getvalue()
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def from_csv(cls, text: str) -> "ApnicDataset":
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header is None or tuple(header) != cls.CSV_HEADER:
+            raise DataError(f"bad APNIC CSV header: {header!r}")
+        dataset = cls()
+        for row in reader:
+            if not row:
+                continue
+            try:
+                dataset.add(
+                    PopulationRecord(
+                        asn=int(row[0]), country=row[1], users=int(row[2])
+                    )
+                )
+            except (IndexError, ValueError) as exc:
+                raise DataError(f"bad APNIC CSV row {row!r}: {exc}") from exc
+        return dataset
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "ApnicDataset":
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,19 @@
+"""AS-Rank substrate: AS-level topology, customer cones, and ranking.
+
+CAIDA's AS-Rank orders ASes by customer-cone size — the set of ASes
+reachable by following provider→customer edges.  The transit analysis
+(Fig. 8) needs that ordering; this package computes it from the synthetic
+AS topology the universe generator emits.
+"""
+
+from .topology import ASTopology, Relationship
+from .cone import customer_cones
+from .rank import ASRank, compute_rank
+
+__all__ = [
+    "ASTopology",
+    "Relationship",
+    "customer_cones",
+    "ASRank",
+    "compute_rank",
+]

@@ -1,0 +1,26 @@
+"""Baseline AS-to-Organization systems Borges is compared against.
+
+* :mod:`repro.baselines.as2org` — CAIDA's AS2Org: WHOIS org IDs only.
+* :mod:`repro.baselines.as2orgplus` — Arturi et al.'s as2org+: AS2Org
+  plus PeeringDB org IDs and regex-based notes/aka extraction.  The
+  paper's benchmark uses its "simple setup" (``OID_P`` only, fully
+  automated); the full regex machinery is implemented too, for the
+  ablations contrasting regex vs LLM extraction.
+* :mod:`repro.baselines.chen_mismatch` — Chen et al.'s complementary
+  method: flag CAIDA-vs-PeeringDB mismatches and refine them with
+  keyword matching (§2.1's third related system).
+"""
+
+from .as2org import build_as2org_mapping
+from .as2orgplus import As2OrgPlusConfig, build_as2orgplus_mapping
+from .chen_mismatch import build_chen_mapping, find_mismatch_candidates
+from .regex_extract import regex_extract_asns
+
+__all__ = [
+    "build_as2org_mapping",
+    "As2OrgPlusConfig",
+    "build_as2orgplus_mapping",
+    "build_chen_mapping",
+    "find_mismatch_candidates",
+    "regex_extract_asns",
+]

@@ -1,0 +1,23 @@
+"""The AS2Org baseline: CAIDA's WHOIS-org-ID clustering.
+
+The long-standing standard (Cai et al. 2010): every delegated ASN joins
+the cluster of its WHOIS organization identifier.  This is the θ = 0.3343
+baseline of Table 6 and the reference point of every §6 impact analysis.
+"""
+
+from __future__ import annotations
+
+from ..core.mapping import OrgMapping
+from ..core.org_keys import oid_w_clusters
+from ..whois import WhoisDataset
+
+
+def build_as2org_mapping(whois: WhoisDataset) -> OrgMapping:
+    """The AS2Org mapping over a WHOIS dataset."""
+    org_names = {asn: whois.org_name_of(asn) for asn in whois.asns()}
+    return OrgMapping(
+        universe=whois.asns(),
+        clusters=oid_w_clusters(whois),
+        method="as2org",
+        org_names=org_names,
+    )

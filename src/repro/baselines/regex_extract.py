@@ -1,0 +1,78 @@
+"""as2org+'s regex-based ASN extraction from notes/aka.
+
+The contrast with Borges's LLM stage (§2.1): plain pattern matching with
+no semantic context.  Two pattern tiers mirror the published tool:
+
+* *strict* — AS-prefixed tokens only (``AS3356``, ``ASN 3356``);
+* *loose* — additionally, bare digit runs in the plausible ASN range,
+  which is what drags in phone numbers, years and max-prefix values (the
+  false positives the paper says required manual curation).
+
+A relationship filter (drop candidates that are the record's provider in
+a known topology) reproduces as2org+'s customer-to-provider cleanup.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Set
+
+from ..asrank.topology import ASTopology
+from ..types import ASN, is_valid_asn
+
+_AS_PREFIXED_RE = re.compile(r"\b[Aa][Ss][Nn]?[\s:#-]{0,2}(\d{1,10})\b")
+_BARE_NUMBER_RE = re.compile(r"\b(\d{2,10})\b")
+
+#: Bare numbers below this are almost never ASNs worth extracting (the
+#: published tool bounds the range; small ints are list markers etc.).
+_BARE_MIN = 100
+_BARE_MAX = 4_000_000_000
+
+
+def regex_extract_asns(
+    text: str,
+    own_asn: Optional[ASN] = None,
+    loose: bool = True,
+) -> List[ASN]:
+    """Extract candidate sibling ASNs from *text* the as2org+ way.
+
+    No context analysis: an upstream listing and a sibling report look
+    identical to this function.
+    """
+    candidates: Set[ASN] = set()
+    for match in _AS_PREFIXED_RE.finditer(text or ""):
+        value = int(match.group(1))
+        if is_valid_asn(value):
+            candidates.add(value)
+    if loose:
+        for match in _BARE_NUMBER_RE.finditer(text or ""):
+            value = int(match.group(1))
+            if _BARE_MIN <= value <= _BARE_MAX and is_valid_asn(value):
+                candidates.add(value)
+    if own_asn is not None:
+        candidates.discard(own_asn)
+    return sorted(candidates)
+
+
+def filter_provider_relations(
+    own_asn: ASN,
+    candidates: Iterable[ASN],
+    topology: ASTopology,
+) -> List[ASN]:
+    """Drop candidates that are *own_asn*'s (transitive) providers.
+
+    as2org+'s customer-to-provider filter: a network reporting its
+    upstream connectivity names providers, not siblings.  Walks the
+    provider closure up to a bounded depth.
+    """
+    providers: Set[ASN] = set()
+    frontier = topology.providers_of(own_asn)
+    for _ in range(8):
+        if not frontier:
+            break
+        providers |= frontier
+        next_frontier: Set[ASN] = set()
+        for asn in frontier:
+            next_frontier |= topology.providers_of(asn) - providers
+        frontier = next_frontier
+    return sorted(a for a in candidates if a not in providers)

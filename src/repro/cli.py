@@ -1,0 +1,302 @@
+"""The ``borges`` command-line interface.
+
+Subcommands:
+
+* ``generate`` — build a synthetic universe and export its datasets
+  (PeeringDB snapshot JSON, CAIDA-format as2org file, APNIC CSV).
+* ``run`` — run the Borges pipeline and print headline results; can save
+  the resulting mapping as JSON.
+* ``experiment`` — regenerate a paper table/figure (``table3``..``fig9``
+  or ``all``).
+* ``compare`` — θ for AS2Org, as2org+ and Borges side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import __version__
+from .baselines import build_as2org_mapping, build_as2orgplus_mapping
+from .config import ALL_FEATURES, BorgesConfig, UniverseConfig
+from .core import BorgesPipeline
+from .experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from .logutil import setup_logging
+from .metrics import org_factor_from_mapping
+from .peeringdb import save_snapshot
+from .universe import generate_universe
+from .whois import save_as2org_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="borges",
+        description="Borges: AS-to-Organization mappings (IMC 2025 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="debug logging"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="universe seed (default 42)"
+    )
+    parser.add_argument(
+        "--orgs",
+        type=int,
+        default=None,
+        help="number of synthetic organizations (default: config default)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and export a universe")
+    gen.add_argument(
+        "--out", type=Path, default=Path("datasets"), help="output directory"
+    )
+
+    run = sub.add_parser("run", help="run the Borges pipeline")
+    run.add_argument(
+        "--features",
+        nargs="*",
+        choices=sorted(ALL_FEATURES),
+        default=None,
+        help="feature subset (default: all four)",
+    )
+    run.add_argument(
+        "--save-mapping", type=Path, default=None, help="write mapping JSON here"
+    )
+    run.add_argument(
+        "--save-as2org",
+        type=Path,
+        default=None,
+        help="publish the mapping in CAIDA's as2org JSON-lines format",
+    )
+    run.add_argument(
+        "--from-datasets",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "load peeringdb_snapshot.json + as2org.jsonl from DIR (as "
+            "written by `borges generate`) instead of generating a "
+            "universe; without a web driver the web features are skipped"
+        ),
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "id",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (table3..table9, fig7..fig9, all)",
+    )
+    exp.add_argument(
+        "--max-rows", type=int, default=25, help="row limit when rendering"
+    )
+    exp.add_argument(
+        "--svg-dir",
+        type=Path,
+        default=None,
+        help="also write figure experiments as SVG charts into this directory",
+    )
+
+    sub.add_parser("compare", help="theta for all methods side by side")
+
+    sub.add_parser(
+        "evolution", help="longitudinal study: theta/orgs per historical year"
+    )
+
+    explain = sub.add_parser(
+        "explain", help="show the evidence linking two ASNs (or one ASN's org)"
+    )
+    explain.add_argument("asn_a", type=int)
+    explain.add_argument("asn_b", type=int, nargs="?", default=None)
+    return parser
+
+
+def _universe_config(args: argparse.Namespace) -> UniverseConfig:
+    config = UniverseConfig(seed=args.seed)
+    if args.orgs is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, n_organizations=args.orgs)
+    return config.validate()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    universe = generate_universe(_universe_config(args))
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    save_snapshot(universe.pdb, out / "peeringdb_snapshot.json")
+    save_as2org_file(universe.whois, out / "as2org.jsonl")
+    universe.apnic.save_csv(out / "apnic_population.csv")
+    print(f"exported universe (seed {args.seed}) to {out}/")
+    for key, value in sorted(universe.summary().items()):
+        print(f"  {key}: {value:,.0f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .web.simweb import SimulatedWeb
+
+    config = BorgesConfig()
+    if args.features is not None:
+        config = config.with_features(*args.features)
+    if args.from_datasets is not None:
+        from .peeringdb import load_snapshot
+        from .whois import load_as2org_file
+
+        directory: Path = args.from_datasets
+        pdb = load_snapshot(directory / "peeringdb_snapshot.json")
+        whois = load_as2org_file(directory / "as2org.jsonl")
+        # Real deployments point the scraper at the live web; from bare
+        # dataset files the web features have nothing to crawl.
+        web = SimulatedWeb()
+        if args.features is None:
+            config = config.with_features("oid_p", "notes_aka")
+            print(
+                "note: no web driver for dataset files — running with "
+                "features oid_p + notes_aka"
+            )
+        pipeline = BorgesPipeline(whois, pdb, web, config)
+    else:
+        universe = generate_universe(_universe_config(args))
+        whois, pdb, web = universe.whois, universe.pdb, universe.web
+        pipeline = BorgesPipeline(whois, pdb, web, config)
+    result = pipeline.run()
+    print(f"method: {result.mapping.method}")
+    for row in result.feature_table():
+        print(f"  {row['source']:>10}: {row['asns']:>7,} ASes, {row['orgs']:>7,} orgs")
+    theta = org_factor_from_mapping(result.mapping)
+    print(f"organizations: {len(result.mapping):,}")
+    print(f"organization factor (theta): {theta:.4f}")
+    usage = pipeline.client.total_usage
+    print(
+        f"llm usage: {pipeline.client.request_count} requests, "
+        f"{usage.total_tokens:,} tokens (~${usage.cost_usd():.4f})"
+    )
+    if args.save_mapping:
+        result.mapping.save(args.save_mapping)
+        print(f"mapping saved to {args.save_mapping}")
+    if args.save_as2org:
+        from .core.release import save_mapping_as2org
+
+        save_mapping_as2org(result.mapping, whois, args.save_as2org)
+        print(f"CAIDA-format mapping saved to {args.save_as2org}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    context = ExperimentContext.build(_universe_config(args))
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+    for experiment_id in ids:
+        report = run_experiment(experiment_id, context=context)
+        print(report.render(max_rows=args.max_rows))
+        if args.svg_dir is not None:
+            from .experiments.svg import save_report_svg
+
+            path = save_report_svg(report, args.svg_dir)
+            if path is not None:
+                print(f"svg written to {path}")
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines import build_chen_mapping
+
+    universe = generate_universe(_universe_config(args))
+    borges = BorgesPipeline(universe.whois, universe.pdb, universe.web).run().mapping
+    as2org = build_as2org_mapping(universe.whois)
+    as2orgplus = build_as2orgplus_mapping(universe.whois, universe.pdb)
+    chen = build_chen_mapping(universe.whois, universe.pdb)
+    baseline = org_factor_from_mapping(as2org)
+    print(f"{'method':<14} {'theta':>8} {'vs AS2Org':>10} {'orgs':>8}")
+    for name, mapping in (
+        ("AS2Org", as2org),
+        ("as2org+", as2orgplus),
+        ("chen-mismatch", chen),
+        ("Borges", borges),
+    ):
+        theta = org_factor_from_mapping(mapping)
+        delta = 100.0 * (theta / baseline - 1.0)
+        print(f"{name:<14} {theta:>8.4f} {delta:>+9.2f}% {len(mapping):>8,}")
+    return 0
+
+
+def _cmd_evolution(args: argparse.Namespace) -> int:
+    from .longitudinal import build_snapshot_series, run_longitudinal_study
+
+    universe = generate_universe(_universe_config(args))
+    series = build_snapshot_series(universe)
+    report = run_longitudinal_study(series)
+    print(f"{'year':>6} {'theta':>8} {'orgs':>8} {'pending M&A':>12}")
+    for snapshot, result in zip(series.snapshots, report.results):
+        print(
+            f"{result.year:>6} {result.theta:>8.4f} {result.org_count:>8,} "
+            f"{len(snapshot.pending_brand_ids):>12}"
+        )
+    print(f"merge events detected between snapshots: {len(report.merges)}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.evidence import MappingExplainer, collect_evidence
+
+    universe = generate_universe(_universe_config(args))
+    pipeline = BorgesPipeline(universe.whois, universe.pdb, universe.web)
+    result = pipeline.run()
+    explainer = MappingExplainer(
+        collect_evidence(result, universe.whois, universe.pdb)
+    )
+    mapping = result.mapping
+    a = args.asn_a
+    if a not in mapping:
+        print(f"AS{a} is not a delegated ASN in this universe")
+        return 1
+    if args.asn_b is None:
+        cluster = sorted(mapping.cluster_of(a))
+        print(
+            f"AS{a} belongs to {mapping.org_name_of(a)!r} "
+            f"({len(cluster)} networks): {cluster}"
+        )
+        for item in explainer.evidence_for(a):
+            print(f"  {item.describe()}")
+        return 0
+    b = args.asn_b
+    if not mapping.are_siblings(a, b):
+        print(f"AS{a} and AS{b} are NOT mapped to the same organization")
+        return 0
+    confidence = explainer.confidence(a, b)
+    print(
+        f"AS{a} and AS{b} are siblings ({mapping.org_name_of(a)!r}); "
+        f"confidence: {confidence}; evidence:"
+    )
+    chain = explainer.why_siblings(a, b) or []
+    for step, item in enumerate(chain, start=1):
+        print(f"  {step}. {item.describe()}")
+    for item in explainer.direct_support(a, b)[1:4]:
+        if item not in chain:
+            print(f"  also: {item.describe()}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "compare": _cmd_compare,
+    "evolution": _cmd_evolution,
+    "explain": _cmd_explain,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    setup_logging(logging.DEBUG if args.verbose else logging.WARNING)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Borges core: the paper's primary contribution.
+
+Four sibling-inference features over PeeringDB/WHOIS/web inputs —
+organization keys (§4.1), LLM-based notes/aka extraction (§4.2), final-URL
+matching and favicon classification (§4.3) — consolidated into one
+AS-to-Organization mapping by transitive merging.
+"""
+
+from .evidence import Evidence, MappingExplainer, collect_evidence
+from .mapping import OrgMapping
+from .merge import UnionFind, merge_clusters
+from .org_keys import oid_p_clusters, oid_w_clusters
+from .ner import NERModule, NERRecordResult
+from .web_inference import WebInferenceModule, WebInferenceResult
+from .pipeline import BorgesPipeline, BorgesResult, FeatureClusters
+
+__all__ = [
+    "Evidence",
+    "MappingExplainer",
+    "collect_evidence",
+    "OrgMapping",
+    "UnionFind",
+    "merge_clusters",
+    "oid_p_clusters",
+    "oid_w_clusters",
+    "NERModule",
+    "NERRecordResult",
+    "WebInferenceModule",
+    "WebInferenceResult",
+    "BorgesPipeline",
+    "BorgesResult",
+    "FeatureClusters",
+]

@@ -1,0 +1,224 @@
+"""Evidence tracking: *why* two ASNs ended up in the same organization.
+
+A production AS-to-Org mapping is only trustworthy if each merge can be
+audited.  This module reconstructs, from one pipeline run, the evidence
+hypergraph — every feature assertion ("these ASNs share WHOIS org X",
+"these landed on final URL Y", "AS A's notes name AS B a sibling") — and
+answers sibling queries with the *chain of evidence* connecting two ASNs
+(a shortest path over evidence hyperedges).
+
+Used by ``borges explain`` and the audit examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..peeringdb import PDBSnapshot
+from ..types import ASN
+from ..whois import WhoisDataset
+from .pipeline import BorgesResult
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One feature assertion grouping a set of ASNs."""
+
+    feature: str
+    asns: FrozenSet[ASN]
+    detail: str
+
+    def describe(self) -> str:
+        members = ", ".join(f"AS{a}" for a in sorted(self.asns)[:6])
+        suffix = "..." if len(self.asns) > 6 else ""
+        return f"[{self.feature}] {self.detail} ({members}{suffix})"
+
+
+def collect_evidence(
+    result: BorgesResult,
+    whois: WhoisDataset,
+    pdb: PDBSnapshot,
+) -> List[Evidence]:
+    """Reconstruct every evidence assertion behind one pipeline run."""
+    evidence: List[Evidence] = []
+
+    for org_id, members in sorted(whois.members().items()):
+        if len(members) > 1:
+            evidence.append(
+                Evidence(
+                    feature="oid_w",
+                    asns=frozenset(members),
+                    detail=(
+                        f"shared WHOIS org {org_id} "
+                        f"({whois.orgs[org_id].name})"
+                    ),
+                )
+            )
+
+    if "oid_p" in result.features:
+        for org_id, members in sorted(pdb.org_members().items()):
+            if len(members) > 1:
+                evidence.append(
+                    Evidence(
+                        feature="oid_p",
+                        asns=frozenset(members),
+                        detail=(
+                            f"shared PeeringDB org {org_id} "
+                            f"({pdb.orgs[org_id].name})"
+                        ),
+                    )
+                )
+
+    for record in result.ner_results:
+        if record.siblings:
+            evidence.append(
+                Evidence(
+                    feature="notes_aka",
+                    asns=record.cluster,
+                    detail=(
+                        f"AS{record.asn}'s notes/aka report siblings "
+                        f"{', '.join(f'AS{a}' for a in record.siblings)}"
+                    ),
+                )
+            )
+
+    web = result.web_result
+    if web is not None:
+        by_final: Dict[str, List[ASN]] = {}
+        for asn, final_url in sorted(web.final_url_of_asn.items()):
+            by_final.setdefault(final_url, []).append(asn)
+        rr_clusters = {frozenset(c) for c in web.rr_clusters}
+        for final_url, members in sorted(by_final.items()):
+            if len(members) > 1 and frozenset(members) in rr_clusters:
+                evidence.append(
+                    Evidence(
+                        feature="rr",
+                        asns=frozenset(members),
+                        detail=f"websites resolve to the same final URL {final_url}",
+                    )
+                )
+        url_to_asns = by_final
+        for decision in web.decisions:
+            if not decision.grouped:
+                continue
+            members: Set[ASN] = set()
+            for url in decision.urls:
+                members.update(url_to_asns.get(url, ()))
+            if len(members) > 1:
+                step = (
+                    "identical favicon + brand token"
+                    if decision.step == "same_subdomain"
+                    else f"identical favicon, LLM verdict {decision.llm_reply!r}"
+                )
+                evidence.append(
+                    Evidence(
+                        feature="favicons",
+                        asns=frozenset(members),
+                        detail=f"{step} across {', '.join(decision.urls[:4])}",
+                    )
+                )
+    return evidence
+
+
+class MappingExplainer:
+    """Answers "why are A and B siblings?" over collected evidence."""
+
+    def __init__(self, evidence: Sequence[Evidence]) -> None:
+        self._evidence = list(evidence)
+        self._by_asn: Dict[ASN, List[int]] = {}
+        for index, item in enumerate(self._evidence):
+            for asn in item.asns:
+                self._by_asn.setdefault(asn, []).append(index)
+
+    def evidence_for(self, asn: ASN) -> List[Evidence]:
+        """Every assertion that mentions *asn*."""
+        return [self._evidence[i] for i in self._by_asn.get(asn, ())]
+
+    def why_siblings(self, a: ASN, b: ASN) -> Optional[List[Evidence]]:
+        """A shortest evidence chain connecting *a* to *b*, or ``None``.
+
+        BFS over the bipartite ASN↔evidence graph; the returned list is
+        the sequence of assertions whose transitive closure links the two
+        (one element when a single assertion names both).
+        """
+        if a == b:
+            return []
+        if a not in self._by_asn or b not in self._by_asn:
+            return None
+        # BFS from a; states are ASNs, transitions are evidence items.
+        parent_edge: Dict[ASN, int] = {}
+        parent_node: Dict[ASN, ASN] = {}
+        visited_edges: Set[int] = set()
+        queue: deque = deque([a])
+        seen: Set[ASN] = {a}
+        while queue:
+            node = queue.popleft()
+            for edge_index in self._by_asn.get(node, ()):
+                if edge_index in visited_edges:
+                    continue
+                visited_edges.add(edge_index)
+                for neighbour in self._evidence[edge_index].asns:
+                    if neighbour in seen:
+                        continue
+                    seen.add(neighbour)
+                    parent_edge[neighbour] = edge_index
+                    parent_node[neighbour] = node
+                    if neighbour == b:
+                        return self._unwind(b, parent_edge, parent_node)
+                    queue.append(neighbour)
+        return None
+
+    def _unwind(
+        self,
+        target: ASN,
+        parent_edge: Dict[ASN, int],
+        parent_node: Dict[ASN, ASN],
+    ) -> List[Evidence]:
+        chain: List[Evidence] = []
+        node = target
+        while node in parent_edge:
+            chain.append(self._evidence[parent_edge[node]])
+            node = parent_node[node]
+        chain.reverse()
+        return chain
+
+    def stats(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for item in self._evidence:
+            counts[item.feature] = counts.get(item.feature, 0) + 1
+        counts["total"] = len(self._evidence)
+        return counts
+
+    # -- confidence ------------------------------------------------------
+
+    def direct_support(self, a: ASN, b: ASN) -> List[Evidence]:
+        """Assertions naming *both* ASNs (single-hop evidence)."""
+        return [
+            self._evidence[i]
+            for i in self._by_asn.get(a, ())
+            if b in self._evidence[i].asns
+        ]
+
+    def confidence(self, a: ASN, b: ASN) -> str:
+        """Audit grade for one sibling pair.
+
+        * ``"corroborated"`` — two or more independent features assert the
+          pair directly (the strongest merges: Lumen via OID_P *and* R&R
+          *and* notes);
+        * ``"single-source"`` — exactly one feature asserts it directly;
+        * ``"transitive"`` — only connected through intermediate ASNs;
+        * ``"unsupported"`` — no evidence chain at all (not siblings, or
+          siblings only by WHOIS singleton identity).
+        """
+        direct = self.direct_support(a, b)
+        features = {item.feature for item in direct}
+        if len(features) >= 2:
+            return "corroborated"
+        if len(features) == 1:
+            return "single-source"
+        chain = self.why_siblings(a, b)
+        if chain:
+            return "transitive"
+        return "unsupported"

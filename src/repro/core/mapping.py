@@ -1,0 +1,167 @@
+"""The AS-to-Organization mapping produced by any method.
+
+:class:`OrgMapping` is a partition of a fixed ASN universe (the WHOIS
+delegation set — the Organization Factor's vertex set) into
+organizations.  ASNs never mentioned by any feature stay singletons, as
+in the paper's graph construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from ..errors import DataError, UnknownASNError
+from ..types import ASN, Cluster
+from .merge import merge_clusters
+
+
+class OrgMapping:
+    """An immutable ASN partition with per-org lookups and serialization."""
+
+    def __init__(
+        self,
+        universe: Iterable[ASN],
+        clusters: Iterable[Iterable[ASN]],
+        method: str = "",
+        org_names: Optional[Dict[ASN, str]] = None,
+    ) -> None:
+        """Build a mapping over *universe*.
+
+        *clusters* may overlap (they are consolidated) and may mention
+        ASNs outside the universe (those members are dropped — the θ graph
+        only contains delegated networks).  Universe ASNs not covered by
+        any cluster become singleton organizations.
+        """
+        self._universe: Set[ASN] = {int(a) for a in universe}
+        self._method = method
+        merged = merge_clusters([clusters])
+        self._clusters: List[Cluster] = []
+        covered: Set[ASN] = set()
+        for cluster in merged:
+            kept = frozenset(a for a in cluster if a in self._universe)
+            if not kept:
+                continue
+            overlap = kept & covered
+            if overlap:
+                raise DataError(
+                    f"ASNs in two clusters after merge: {sorted(overlap)[:5]}"
+                )
+            covered |= kept
+            self._clusters.append(kept)
+        for asn in sorted(self._universe - covered):
+            self._clusters.append(frozenset((asn,)))
+        self._clusters.sort(key=lambda c: (-len(c), min(c)))
+        self._by_asn: Dict[ASN, int] = {}
+        for index, cluster in enumerate(self._clusters):
+            for asn in cluster:
+                self._by_asn[asn] = index
+        #: Optional display names per ASN (the WHOIS/PDB org names).
+        self._org_names = dict(org_names or {})
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def universe_size(self) -> int:
+        return len(self._universe)
+
+    def __len__(self) -> int:
+        """Number of organizations (including singletons)."""
+        return len(self._clusters)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._universe
+
+    def clusters(self) -> List[Cluster]:
+        return list(self._clusters)
+
+    def multi_asn_clusters(self) -> List[Cluster]:
+        return [c for c in self._clusters if len(c) > 1]
+
+    def cluster_of(self, asn: ASN) -> Cluster:
+        try:
+            return self._clusters[self._by_asn[asn]]
+        except KeyError:
+            raise UnknownASNError(asn) from None
+
+    def org_index_of(self, asn: ASN) -> int:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise UnknownASNError(asn) from None
+
+    def are_siblings(self, a: ASN, b: ASN) -> bool:
+        if a not in self._by_asn or b not in self._by_asn:
+            return False
+        return self._by_asn[a] == self._by_asn[b]
+
+    def sizes(self) -> List[int]:
+        """Cluster sizes, descending — the θ input."""
+        return [len(c) for c in self._clusters]
+
+    def org_name_of(self, asn: ASN) -> str:
+        """Display name: the recorded name of any cluster member."""
+        cluster = self.cluster_of(asn)
+        for member in sorted(cluster):
+            name = self._org_names.get(member)
+            if name:
+                return name
+        return f"AS{min(cluster)}"
+
+    def stats(self) -> Dict[str, float]:
+        sizes = self.sizes()
+        multi = [s for s in sizes if s > 1]
+        return {
+            "asns": float(self.universe_size),
+            "orgs": float(len(sizes)),
+            "multi_asn_orgs": float(len(multi)),
+            "mean_asns_per_org": (
+                sum(sizes) / len(sizes) if sizes else 0.0
+            ),
+            "max_asns_per_org": float(max(sizes)) if sizes else 0.0,
+        }
+
+    # -- comparisons -----------------------------------------------------------
+
+    def changed_clusters_vs(self, baseline: "OrgMapping") -> List[Cluster]:
+        """Clusters of *self* that are not identical to a baseline cluster.
+
+        The unit Table 7 counts: organizations whose composition changed.
+        """
+        baseline_set = set(baseline.clusters())
+        return [c for c in self._clusters if c not in baseline_set]
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "method": self._method,
+            "universe": sorted(self._universe),
+            "clusters": [sorted(c) for c in self._clusters if len(c) > 1],
+            "org_names": {str(k): v for k, v in self._org_names.items()},
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_json()), encoding="utf-8")
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "OrgMapping":
+        return cls(
+            universe=payload["universe"],  # type: ignore[arg-type]
+            clusters=payload.get("clusters", ()),  # type: ignore[arg-type]
+            method=str(payload.get("method", "")),
+            org_names={
+                int(k): str(v)
+                for k, v in dict(payload.get("org_names", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "OrgMapping":
+        return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))

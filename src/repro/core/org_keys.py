@@ -1,0 +1,36 @@
+"""Organization-key clustering (§4.1): OID_W and OID_P.
+
+The simplest and broadest of Borges's signals: group ASNs that share a
+WHOIS organization identifier, and group ASNs that share a PeeringDB
+organization identifier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..peeringdb import PDBSnapshot
+from ..types import Cluster
+from ..whois import WhoisDataset
+
+
+def oid_w_clusters(whois: WhoisDataset) -> List[Cluster]:
+    """Clusters induced by WHOIS org IDs — the AS2Org baseline signal.
+
+    Every delegated ASN appears in exactly one cluster (singletons
+    included), because WHOIS delegation is compulsory.
+    """
+    return [
+        frozenset(members) for members in whois.members().values()
+    ]
+
+
+def oid_p_clusters(pdb: PDBSnapshot) -> List[Cluster]:
+    """Clusters induced by PeeringDB org IDs (OID_P).
+
+    Only ASNs registered in PeeringDB appear; this is the operator-driven
+    view that unites Lumen and CenturyLink in Fig. 3.
+    """
+    return [
+        frozenset(members) for members in pdb.org_members().values()
+    ]

@@ -1,0 +1,181 @@
+"""The Borges pipeline: run features, consolidate, emit the mapping.
+
+:class:`BorgesPipeline` wires the four features (§3) over a WHOIS
+dataset + PeeringDB snapshot + web driver and produces a
+:class:`BorgesResult`: per-feature clusters (Table 3's unit), the final
+consolidated :class:`~repro.core.mapping.OrgMapping`, and module-level
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import (
+    FEATURE_FAVICONS,
+    FEATURE_NOTES_AKA,
+    FEATURE_OID_P,
+    FEATURE_RR,
+    BorgesConfig,
+)
+from ..llm.client import ChatClient
+from ..llm.simulated import make_default_client
+from ..logutil import get_logger, timed
+from ..peeringdb import PDBSnapshot
+from ..types import ASN, Cluster
+from ..web.favicon import FaviconAPI
+from ..web.scraper import HeadlessScraper
+from ..web.simweb import SimulatedWeb
+from ..whois import WhoisDataset
+from .mapping import OrgMapping
+from .ner import NERModule, NERRecordResult
+from .org_keys import oid_p_clusters, oid_w_clusters
+from .web_inference import WebInferenceModule, WebInferenceResult
+
+_LOG = get_logger("core.pipeline")
+
+
+@dataclass(frozen=True)
+class FeatureClusters:
+    """One feature's output, plus the Table-3 accounting."""
+
+    feature: str
+    clusters: List[Cluster]
+
+    @property
+    def asn_count(self) -> int:
+        """Number of distinct ASNs the feature says anything about."""
+        members = set()
+        for cluster in self.clusters:
+            members.update(cluster)
+        return len(members)
+
+    @property
+    def org_count(self) -> int:
+        """Number of organizations after consolidating within the feature."""
+        from .merge import merge_clusters
+
+        return len(merge_clusters([self.clusters]))
+
+
+@dataclass
+class BorgesResult:
+    """Everything one pipeline run produced."""
+
+    mapping: OrgMapping
+    features: Dict[str, FeatureClusters] = field(default_factory=dict)
+    ner_results: List[NERRecordResult] = field(default_factory=list)
+    web_result: Optional[WebInferenceResult] = None
+
+    def feature_table(self) -> List[Dict[str, object]]:
+        """Rows shaped like Table 3 (source, #ASes, #orgs)."""
+        rows = []
+        for name in ("oid_p", "oid_w", "notes_aka", "rr", "favicons"):
+            feature = self.features.get(name)
+            if feature is None:
+                continue
+            rows.append(
+                {
+                    "source": name,
+                    "asns": feature.asn_count,
+                    "orgs": feature.org_count,
+                }
+            )
+        return rows
+
+
+class BorgesPipeline:
+    """Configured, reusable pipeline front-end.
+
+    ``web`` may be any object accepted by :class:`HeadlessScraper` /
+    :class:`FaviconAPI` (the simulated web offline; a real HTTP driver in
+    production).  ``client`` defaults to the offline simulated LLM.
+    """
+
+    def __init__(
+        self,
+        whois: WhoisDataset,
+        pdb: PDBSnapshot,
+        web: SimulatedWeb,
+        config: Optional[BorgesConfig] = None,
+        client: Optional[ChatClient] = None,
+    ) -> None:
+        self._whois = whois
+        self._pdb = pdb
+        self._config = (config or BorgesConfig()).validate()
+        self._client = client or make_default_client(self._config.llm)
+        self._scraper = HeadlessScraper(web, config=self._config.scraper)
+        self._favicon_api = FaviconAPI(web)
+        self._ner = NERModule(self._client, self._config)
+        self._web_module = WebInferenceModule(
+            self._scraper, self._favicon_api, self._client, self._config
+        )
+
+    @property
+    def config(self) -> BorgesConfig:
+        return self._config
+
+    @property
+    def client(self) -> ChatClient:
+        return self._client
+
+    def run(self) -> BorgesResult:
+        """Execute every enabled feature and consolidate."""
+        config = self._config
+        features: Dict[str, FeatureClusters] = {
+            "oid_w": FeatureClusters("oid_w", oid_w_clusters(self._whois)),
+        }
+        ner_results: List[NERRecordResult] = []
+        web_result: Optional[WebInferenceResult] = None
+
+        if config.has(FEATURE_OID_P):
+            with timed(_LOG, "oid_p clustering"):
+                features[FEATURE_OID_P] = FeatureClusters(
+                    FEATURE_OID_P, oid_p_clusters(self._pdb)
+                )
+        if config.has(FEATURE_NOTES_AKA):
+            with timed(_LOG, "notes/aka extraction"):
+                ner_results = self._ner.run(self._pdb)
+                features[FEATURE_NOTES_AKA] = FeatureClusters(
+                    FEATURE_NOTES_AKA, self._ner.clusters(ner_results)
+                )
+        if config.has(FEATURE_RR) or config.has(FEATURE_FAVICONS):
+            with timed(_LOG, "web inference"):
+                web_result = self._web_module.run(
+                    self._pdb, favicons=config.has(FEATURE_FAVICONS)
+                )
+            if config.has(FEATURE_RR):
+                features[FEATURE_RR] = FeatureClusters(
+                    FEATURE_RR, web_result.rr_clusters
+                )
+            if config.has(FEATURE_FAVICONS):
+                features[FEATURE_FAVICONS] = FeatureClusters(
+                    FEATURE_FAVICONS, web_result.favicon_clusters
+                )
+
+        mapping = self.build_mapping(features)
+        return BorgesResult(
+            mapping=mapping,
+            features=features,
+            ner_results=ner_results,
+            web_result=web_result,
+        )
+
+    def build_mapping(
+        self, features: Dict[str, FeatureClusters]
+    ) -> OrgMapping:
+        """Consolidate feature clusters over the WHOIS universe."""
+        all_clusters: List[Cluster] = []
+        for feature in features.values():
+            all_clusters.extend(feature.clusters)
+        org_names = {
+            asn: self._whois.org_name_of(asn) for asn in self._whois.asns()
+        }
+        label = "borges[" + ",".join(sorted(self._config.features)) + "]"
+        return OrgMapping(
+            universe=self._whois.asns(),
+            clusters=all_clusters,
+            method=label,
+            org_names=org_names,
+        )

@@ -1,0 +1,66 @@
+"""Publishing a mapping in CAIDA's as2org wire format.
+
+The paper releases its framework so "the community can generate new
+mappings"; the natural release artifact is the same JSON-lines format
+CAIDA publishes AS2Org in — then every downstream tool that reads
+CAIDA's file reads Borges's output unchanged.
+
+Each output organization is one consolidated Borges cluster; its
+``organizationId`` is a stable handle derived from the cluster's lowest
+ASN, its name/country come from the richest underlying WHOIS record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..whois import ASNDelegation, WhoisDataset, WhoisOrg
+from ..whois.as2org_file import save_as2org_file
+from .mapping import OrgMapping
+
+
+def mapping_to_whois_dataset(
+    mapping: OrgMapping, whois: WhoisDataset
+) -> WhoisDataset:
+    """Re-express a mapping as a WHOIS-shaped dataset (one org/cluster).
+
+    *whois* supplies per-ASN names, countries and RIR sources; every ASN
+    of the mapping must be delegated there (true by construction for
+    pipeline outputs).
+    """
+    orgs = []
+    delegations = []
+    for cluster in mapping.clusters():
+        members = sorted(cluster)
+        representative = members[0]
+        handle = f"BORGES-{representative}"
+        source_org = whois.org_of(representative)
+        orgs.append(
+            WhoisOrg(
+                org_id=handle,
+                name=mapping.org_name_of(representative),
+                country=source_org.country,
+                source=source_org.source,
+            )
+        )
+        for asn in members:
+            delegation = whois.delegations[asn]
+            delegations.append(
+                ASNDelegation(
+                    asn=asn,
+                    org_id=handle,
+                    name=delegation.name,
+                    source=delegation.source,
+                )
+            )
+    return WhoisDataset.build(orgs, delegations)
+
+
+def save_mapping_as2org(
+    mapping: OrgMapping,
+    whois: WhoisDataset,
+    path: Union[str, Path],
+) -> None:
+    """Write *mapping* as a CAIDA-format as2org file (gzip if ``.gz``)."""
+    save_as2org_file(mapping_to_whois_dataset(mapping, whois), path)

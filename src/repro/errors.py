@@ -1,0 +1,94 @@
+"""Exception hierarchy for the Borges reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-hierarchies
+mirror the package layout (data loading, LLM, web, pipeline).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed, inconsistent, or missing required fields."""
+
+
+class SchemaError(DataError):
+    """A record does not conform to the expected data schema."""
+
+
+class SnapshotError(DataError):
+    """A snapshot file could not be loaded or serialized."""
+
+
+class UnknownASNError(DataError):
+    """An ASN was referenced that is not present in the dataset."""
+
+    def __init__(self, asn: int) -> None:
+        super().__init__(f"unknown ASN: {asn}")
+        self.asn = asn
+
+
+class LLMError(ReproError):
+    """Base class for LLM client/back-end failures."""
+
+
+class PromptError(LLMError):
+    """A prompt template could not be rendered."""
+
+
+class LLMResponseError(LLMError):
+    """The model returned output that could not be parsed."""
+
+    def __init__(self, message: str, raw_output: str = "") -> None:
+        super().__init__(message)
+        self.raw_output = raw_output
+
+
+class LLMBackendError(LLMError):
+    """The backing model/service failed (simulated rate limits, etc.)."""
+
+
+class WebError(ReproError):
+    """Base class for simulated-web failures."""
+
+
+class URLError(WebError):
+    """A URL could not be parsed or normalized."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"bad URL {url!r}: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+class FetchError(WebError):
+    """A simulated HTTP fetch failed (host down, too many redirects...)."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"fetch failed for {url!r}: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+class RedirectLoopError(FetchError):
+    """A redirect chain exceeded the maximum number of hops."""
+
+    def __init__(self, url: str, max_hops: int) -> None:
+        super().__init__(url, f"redirect chain exceeded {max_hops} hops")
+        self.max_hops = max_hops
+
+
+class PipelineError(ReproError):
+    """A Borges pipeline stage failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown experiment id, etc.)."""

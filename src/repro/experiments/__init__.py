@@ -1,0 +1,25 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+:class:`~repro.experiments.runner.ExperimentContext` builds (and caches)
+one universe plus the three mappings; the registry maps experiment ids
+(``table3`` ... ``table9``, ``fig7`` ... ``fig9``) to functions producing
+:class:`~repro.experiments.report.Report` objects the CLI and benchmarks
+render.
+"""
+
+from .report import Report, render_table
+from .runner import (
+    EXPERIMENTS,
+    ExperimentContext,
+    get_context,
+    run_experiment,
+)
+
+__all__ = [
+    "Report",
+    "render_table",
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "get_context",
+    "run_experiment",
+]

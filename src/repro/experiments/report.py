@@ -1,0 +1,123 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment returns a :class:`Report`: a title, table rows (a list
+of dicts sharing keys), free-form notes, and optional named data series
+(for the figures).  :func:`render_table` produces aligned ASCII output
+for terminals, logs and the bench harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Report:
+    """One regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Figures carry named (x, y) series instead of / besides rows.
+    series: Dict[str, Tuple[List[float], List[float]]] = field(
+        default_factory=dict
+    )
+
+    def render(self, max_rows: Optional[int] = None, charts: bool = True) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.rows, max_rows=max_rows))
+        for name, (xs, ys) in self.series.items():
+            parts.append(
+                f"series {name!r}: {len(xs)} points, "
+                f"x∈[{_fmt(min(xs))}, {_fmt(max(xs))}], "
+                f"y∈[{_fmt(min(ys))}, {_fmt(max(ys))}]"
+            )
+            if charts and len(xs) >= 2:
+                parts.append(render_ascii_chart(xs, ys, title=name))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 10,
+    title: str = "",
+) -> str:
+    """A terminal line chart: y binned over x, drawn with block rows.
+
+    Figures are regenerated as data series; this gives the CLI and bench
+    logs a visual of the *shape* (the reproduction target) without any
+    plotting dependency.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        return "(chart unavailable)"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    span_x = (x_max - x_min) or 1.0
+    span_y = (y_max - y_min) or 1.0
+    # Bin mean y per column.
+    columns: List[List[float]] = [[] for _ in range(width)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - x_min) / span_x * width))
+        columns[col].append(y)
+    levels: List[Optional[int]] = []
+    previous = 0
+    for bucket in columns:
+        if bucket:
+            mean = sum(bucket) / len(bucket)
+            previous = min(
+                height - 1, int((mean - y_min) / span_y * (height - 1) + 0.5)
+            )
+        levels.append(previous)
+    grid = []
+    for row in range(height - 1, -1, -1):
+        line = "".join("█" if level >= row else " " for level in levels)
+        grid.append("  |" + line)
+    footer = "  +" + "-" * width
+    header = f"  {title} (y: {_fmt(y_min)}..{_fmt(y_max)})" if title else ""
+    body = "\n".join(grid) + "\n" + footer
+    return (header + "\n" + body) if header else body
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    max_rows: Optional[int] = None,
+) -> str:
+    """Align a list of same-keyed dicts into an ASCII table."""
+    if not rows:
+        return "(no rows)"
+    shown = list(rows if max_rows is None else rows[:max_rows])
+    columns = list(shown[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in shown]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    def line(items: Sequence[str]) -> str:
+        return "  ".join(item.rjust(width) for item, width in zip(items, widths))
+
+    out = [line(columns), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    if max_rows is not None and len(rows) > max_rows:
+        out.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(out)

@@ -1,0 +1,237 @@
+"""Dependency-free SVG rendering for the regenerated figures.
+
+The evaluation figures are data series; this module draws them as clean
+standalone SVG files (line charts for Fig. 7/8-style series, grouped bar
+charts for Fig. 9-style tables) using nothing but string assembly — no
+plotting library exists in the offline environment, and none is needed
+for publication-quality vector output.
+
+Used by ``borges experiment <id> --svg-dir DIR``.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .report import Report
+
+#: Colour cycle (colour-blind-safe-ish).
+PALETTE = ("#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#9c6b4e")
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 24
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 48
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def _scale(
+    value: float, lo: float, hi: float, out_lo: float, out_hi: float
+) -> float:
+    span = (hi - lo) or 1.0
+    return out_lo + (value - lo) / span * (out_hi - out_lo)
+
+
+def _axis_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    span = (hi - lo) or 1.0
+    return [lo + span * i / (count - 1) for i in range(count)]
+
+
+def _frame(title: str, body: List[str]) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'font-family="sans-serif" font-size="12">\n'
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>\n'
+        f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{html.escape(title)}</text>\n'
+    )
+    return head + "\n".join(body) + "\n</svg>\n"
+
+
+def line_chart_svg(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    max_points: int = 600,
+) -> str:
+    """Render named (x, y) series as a multi-line chart."""
+    if not series:
+        raise ValueError("no series to draw")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+
+    plot_left, plot_right = _MARGIN_LEFT, _WIDTH - _MARGIN_RIGHT
+    plot_top, plot_bottom = _MARGIN_TOP, _HEIGHT - _MARGIN_BOTTOM
+    body: List[str] = []
+
+    # Axes + gridlines + tick labels.
+    for tick in _axis_ticks(y_lo, y_hi):
+        y = _scale(tick, y_lo, y_hi, plot_bottom, plot_top)
+        body.append(
+            f'<line x1="{plot_left}" y1="{y:.1f}" x2="{plot_right}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        body.append(
+            f'<text x="{plot_left - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    for tick in _axis_ticks(x_lo, x_hi):
+        x = _scale(tick, x_lo, x_hi, plot_left, plot_right)
+        body.append(
+            f'<text x="{x:.1f}" y="{plot_bottom + 18}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    body.append(
+        f'<rect x="{plot_left}" y="{plot_top}" '
+        f'width="{plot_right - plot_left}" '
+        f'height="{plot_bottom - plot_top}" fill="none" stroke="#888"/>'
+    )
+
+    # Series polylines (decimated to max_points).
+    for i, (name, (xs, ys)) in enumerate(sorted(series.items())):
+        colour = PALETTE[i % len(PALETTE)]
+        step = max(1, len(xs) // max_points)
+        points = []
+        for j in range(0, len(xs), step):
+            px = _scale(xs[j], x_lo, x_hi, plot_left, plot_right)
+            py = _scale(ys[j], y_lo, y_hi, plot_bottom, plot_top)
+            points.append(f"{px:.1f},{py:.1f}")
+        if points and (len(xs) - 1) % step:
+            px = _scale(xs[-1], x_lo, x_hi, plot_left, plot_right)
+            py = _scale(ys[-1], y_lo, y_hi, plot_bottom, plot_top)
+            points.append(f"{px:.1f},{py:.1f}")
+        body.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+        body.append(
+            f'<text x="{plot_left + 10}" y="{plot_top + 16 + 16 * i}" '
+            f'fill="{colour}">{html.escape(name)}</text>'
+        )
+
+    if x_label:
+        body.append(
+            f'<text x="{(plot_left + plot_right) / 2}" y="{_HEIGHT - 10}" '
+            f'text-anchor="middle">{html.escape(x_label)}</text>'
+        )
+    if y_label:
+        body.append(
+            f'<text x="16" y="{(plot_top + plot_bottom) / 2}" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{(plot_top + plot_bottom) / 2})">{html.escape(y_label)}</text>'
+        )
+    return _frame(title, body)
+
+
+def bar_chart_svg(
+    rows: Sequence[Dict[str, object]],
+    label_key: str,
+    value_keys: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render table rows as a grouped bar chart (the Fig. 9 shape)."""
+    if not rows:
+        raise ValueError("no rows to draw")
+    values = [
+        float(row[key])  # type: ignore[arg-type]
+        for row in rows
+        for key in value_keys
+    ]
+    v_hi = max(values) or 1.0
+
+    plot_left, plot_right = _MARGIN_LEFT, _WIDTH - _MARGIN_RIGHT
+    plot_top, plot_bottom = _MARGIN_TOP, _HEIGHT - _MARGIN_BOTTOM - 40
+    body: List[str] = []
+
+    for tick in _axis_ticks(0.0, v_hi):
+        y = _scale(tick, 0.0, v_hi, plot_bottom, plot_top)
+        body.append(
+            f'<line x1="{plot_left}" y1="{y:.1f}" x2="{plot_right}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        body.append(
+            f'<text x="{plot_left - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+
+    group_width = (plot_right - plot_left) / len(rows)
+    bar_width = max(2.0, group_width * 0.8 / len(value_keys))
+    for g, row in enumerate(rows):
+        group_x = plot_left + g * group_width
+        for i, key in enumerate(value_keys):
+            value = float(row[key])  # type: ignore[arg-type]
+            top = _scale(value, 0.0, v_hi, plot_bottom, plot_top)
+            x = group_x + group_width * 0.1 + i * bar_width
+            body.append(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_width:.1f}" '
+                f'height="{plot_bottom - top:.1f}" '
+                f'fill="{PALETTE[i % len(PALETTE)]}"/>'
+            )
+        label = html.escape(str(row[label_key]))
+        cx = group_x + group_width / 2
+        body.append(
+            f'<text x="{cx:.1f}" y="{plot_bottom + 10}" text-anchor="end" '
+            f'transform="rotate(-45 {cx:.1f} {plot_bottom + 10})" '
+            f'font-size="10">{label}</text>'
+        )
+    for i, key in enumerate(value_keys):
+        body.append(
+            f'<text x="{plot_left + 10}" y="{plot_top + 16 + 16 * i}" '
+            f'fill="{PALETTE[i % len(PALETTE)]}">{html.escape(key)}</text>'
+        )
+    body.append(
+        f'<rect x="{plot_left}" y="{plot_top}" '
+        f'width="{plot_right - plot_left}" '
+        f'height="{plot_bottom - plot_top}" fill="none" stroke="#888"/>'
+    )
+    return _frame(title, body)
+
+
+#: For Fig.-9-style reports: which columns become bars.
+_BAR_EXPERIMENTS = {
+    "fig9": ("hypergiant", ("as2org", "as2org_plus", "borges")),
+}
+
+
+def report_to_svg(report: Report) -> Optional[str]:
+    """Best-effort SVG for one report; ``None`` if nothing drawable."""
+    if report.series:
+        return line_chart_svg(
+            {name: (list(xs), list(ys)) for name, (xs, ys) in report.series.items()},
+            title=report.title,
+        )
+    spec = _BAR_EXPERIMENTS.get(report.experiment_id)
+    if spec and report.rows:
+        label_key, value_keys = spec
+        return bar_chart_svg(
+            report.rows, label_key=label_key, value_keys=value_keys,
+            title=report.title,
+        )
+    return None
+
+
+def save_report_svg(
+    report: Report, directory: Union[str, Path]
+) -> Optional[Path]:
+    """Write the report's SVG into *directory*; returns the path or None."""
+    svg = report_to_svg(report)
+    if svg is None:
+        return None
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{report.experiment_id}.svg"
+    path.write_text(svg, encoding="utf-8")
+    return path

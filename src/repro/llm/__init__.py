@@ -1,0 +1,47 @@
+"""LLM substrate.
+
+A provider-agnostic chat-completions client (:mod:`repro.llm.client`)
+with the paper's exact prompts (:mod:`repro.llm.prompts`, Listings 2–3),
+structured-output parsing (:mod:`repro.llm.parsing`), and a deterministic
+offline backend (:mod:`repro.llm.simulated`) that stands in for
+GPT-4o-mini at temperature 0.
+
+The simulated backend routes rendered prompts to two NLP engines:
+
+* :mod:`repro.llm.extraction_engine` — semantic sibling-ASN extraction
+  from notes/aka text (multilingual keyword context classification).
+* :mod:`repro.llm.classifier_engine` — favicon + URL-list company vs
+  web-framework classification (the "visual" recognition analogue).
+
+Both engines pass through :mod:`repro.llm.errors_model`, a calibrated
+deterministic error injector that reproduces the paper's observed
+accuracy (Table 4: 0.947, Table 5: 0.986) instead of behaving as a
+perfect oracle.
+"""
+
+from .client import (
+    ChatBackend,
+    ChatClient,
+    ChatMessage,
+    ChatResponse,
+    ImageContent,
+    TextContent,
+)
+from .parsing import ClassifierVerdict, ExtractionResult
+from .prompts import render_classifier_messages, render_extraction_prompt
+from .simulated import SimulatedChatBackend, make_default_client
+
+__all__ = [
+    "ChatBackend",
+    "ChatClient",
+    "ChatMessage",
+    "ChatResponse",
+    "ImageContent",
+    "TextContent",
+    "ClassifierVerdict",
+    "ExtractionResult",
+    "render_classifier_messages",
+    "render_extraction_prompt",
+    "SimulatedChatBackend",
+    "make_default_client",
+]

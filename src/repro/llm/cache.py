@@ -1,0 +1,67 @@
+"""Response cache for deterministic (temperature-0) LLM calls.
+
+An in-memory LRU-ish cache with optional JSON persistence, so re-running
+an experiment over an unchanged snapshot costs zero model calls — the
+property the paper relies on for reproducibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+
+def _digest(key: str) -> str:
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+class ResponseCache:
+    """Bounded key→completion cache keyed by request digest."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._max_entries = max(1, max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[str]:
+        digest = _digest(key)
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return self._entries[digest]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: str) -> None:
+        digest = _digest(key)
+        self._entries[digest] = value
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(dict(self._entries)), encoding="utf-8"
+        )
+
+    def load(self, path: Union[str, Path]) -> None:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        for digest, value in data.items():
+            self._entries[digest] = value
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)

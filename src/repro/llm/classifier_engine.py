@@ -1,0 +1,92 @@
+"""Favicon + URL-list company classification (the Listing-3 task).
+
+The simulated model's "visual" competence: given favicon bytes and the
+final URLs serving them, decide whether they identify one
+telecommunications company (group the ASNs) or a web technology / unknown
+(don't).  Offline, favicon bytes are ``ICO:<brand>`` blobs (see
+:func:`repro.web.simweb.make_favicon`), so recognizing the logo reduces
+to decoding the brand token — the legitimate stand-in for GPT-4o-mini
+recognizing a Claro or Bootstrap logo.
+
+Brand recognition is cross-checked against the URL list the same way the
+prompt implies: a known framework-default icon is a technology regardless
+of domains; a brand icon whose domains look wildly unrelated lowers
+confidence (that is where the DE-CIX/AQABA-IX false negatives of §5.3
+come from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..web.simweb import is_framework_favicon_brand
+from ..web.url import brand_label
+
+#: Pretty names for the framework-default favicon families.
+_FRAMEWORK_NAMES = {
+    "bootstrap-default": "Bootstrap",
+    "wordpress-default": "WordPress",
+    "godaddy-default": "GoDaddy",
+    "ixcsoft-default": "IXC Soft",
+    "wix-default": "Wix",
+}
+
+
+@dataclass(frozen=True)
+class ClassificationAnswer:
+    """What the simulated model replies for one (favicon, URLs) tuple."""
+
+    reply: str
+    is_company: bool
+
+
+def decode_brand(favicon: bytes) -> str:
+    """Recover the brand token encoded in simulated favicon bytes."""
+    if favicon.startswith(b"ICO:"):
+        return favicon[len(b"ICO:"):].decode("utf-8", errors="replace")
+    return ""
+
+
+def _pretty_company(brand: str) -> str:
+    return " ".join(part.capitalize() for part in brand.replace("_", "-").split("-"))
+
+
+def _domain_affinity(brand: str, urls: Sequence[str]) -> float:
+    """Fraction of URLs whose brand token resembles the icon's brand.
+
+    "Resembles" means one token contains the other ("claro" vs
+    "clarochile"), the relation the paper's examples rely on.
+    """
+    if not urls:
+        return 0.0
+    brand_token = brand.lower().replace("-", "")
+    matches = 0
+    for url in urls:
+        try:
+            label = brand_label(url).lower().replace("-", "")
+        except Exception:
+            continue
+        if brand_token and (brand_token in label or label in brand_token):
+            matches += 1
+    return matches / len(urls)
+
+
+def classify_group(
+    favicon: bytes, final_urls: Sequence[str]
+) -> ClassificationAnswer:
+    """Decide company vs technology vs unknown for one favicon group."""
+    brand = decode_brand(favicon)
+    if not brand:
+        return ClassificationAnswer(reply="I don't know", is_company=False)
+    if is_framework_favicon_brand(brand):
+        name = _FRAMEWORK_NAMES.get(
+            brand, _pretty_company(brand.replace("-default", " template"))
+        )
+        return ClassificationAnswer(reply=name, is_company=False)
+    affinity = _domain_affinity(brand, final_urls)
+    if affinity == 0.0 and len(final_urls) > 1:
+        # Icon says one thing, every domain says another: the model
+        # cannot tie them to a single company (the DE-CIX failure mode).
+        return ClassificationAnswer(reply="I don't know", is_company=False)
+    return ClassificationAnswer(reply=_pretty_company(brand), is_company=True)

@@ -1,0 +1,189 @@
+"""Provider-agnostic chat-completions client.
+
+Models the subset of the OpenAI-style chat API Borges uses: messages with
+text and image content blocks, temperature/top_p sampling parameters, and
+token-usage accounting.  Backends implement :class:`ChatBackend`; the
+offline default is :class:`repro.llm.simulated.SimulatedChatBackend`, and
+a thin adapter over a real OpenAI-compatible endpoint would satisfy the
+same protocol.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..config import LLMConfig
+from ..errors import LLMBackendError
+from ..logutil import get_logger
+from .cache import ResponseCache
+from .usage import TokenUsage, estimate_tokens
+
+_LOG = get_logger("llm.client")
+
+
+@dataclass(frozen=True)
+class TextContent:
+    """A text content block."""
+
+    text: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {"type": "text", "text": self.text}
+
+
+@dataclass(frozen=True)
+class ImageContent:
+    """An image content block carried as a base64 data URL (Listing 3)."""
+
+    data: bytes
+    media_type: str = "image/jpeg"
+
+    @property
+    def data_url(self) -> str:
+        encoded = base64.b64encode(self.data).decode("ascii")
+        return f"data:{self.media_type};base64,{encoded}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"type": "image_url", "image_url": {"url": self.data_url}}
+
+    @classmethod
+    def from_data_url(cls, url: str) -> "ImageContent":
+        header, _, payload = url.partition(",")
+        media_type = "image/jpeg"
+        if header.startswith("data:"):
+            media_type = header[len("data:"):].split(";")[0] or media_type
+        return cls(data=base64.b64decode(payload), media_type=media_type)
+
+
+ContentBlock = Union[TextContent, ImageContent]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat message: a role plus text or mixed content blocks."""
+
+    role: str  # "system" | "user" | "assistant"
+    content: Union[str, Sequence[ContentBlock]]
+
+    @property
+    def text(self) -> str:
+        """All text content concatenated."""
+        if isinstance(self.content, str):
+            return self.content
+        return "\n".join(
+            block.text for block in self.content if isinstance(block, TextContent)
+        )
+
+    @property
+    def images(self) -> List[ImageContent]:
+        if isinstance(self.content, str):
+            return []
+        return [b for b in self.content if isinstance(b, ImageContent)]
+
+    def cache_key(self) -> str:
+        parts = [self.role, self.text]
+        parts.extend(img.data_url for img in self.images)
+        return "\x1e".join(parts)
+
+
+@dataclass(frozen=True)
+class ChatResponse:
+    """A completed chat turn."""
+
+    content: str
+    model: str
+    usage: TokenUsage
+    cached: bool = False
+
+
+class ChatBackend:
+    """Protocol for model drivers.  Subclass and implement ``complete``."""
+
+    name = "abstract"
+
+    def complete(
+        self, messages: Sequence[ChatMessage], config: LLMConfig
+    ) -> str:
+        raise NotImplementedError
+
+
+class ChatClient:
+    """Front-end with deterministic caching, retries and usage accounting.
+
+    At temperature 0 / top_p 1 the paper's setup is reproducible, so
+    identical requests are served from cache — exactly the behaviour a
+    production pipeline wants when re-running over an unchanged snapshot.
+    """
+
+    def __init__(
+        self,
+        backend: ChatBackend,
+        config: Optional[LLMConfig] = None,
+        cache: Optional[ResponseCache] = None,
+        max_retries: int = 3,
+    ) -> None:
+        self._backend = backend
+        self._config = (config or LLMConfig()).validate()
+        self._cache = cache if cache is not None else ResponseCache()
+        self._max_retries = max(1, max_retries)
+        self.total_usage = TokenUsage()
+        self.request_count = 0
+
+    @property
+    def config(self) -> LLMConfig:
+        return self._config
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    def chat(self, messages: Sequence[ChatMessage]) -> ChatResponse:
+        """Complete a conversation, consulting the cache first."""
+        key = self._request_key(messages)
+        deterministic = self._config.temperature == 0.0
+        if deterministic:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return ChatResponse(
+                    content=cached,
+                    model=self._config.model,
+                    usage=TokenUsage(),
+                    cached=True,
+                )
+        content = self._complete_with_retries(messages)
+        if deterministic:
+            self._cache.put(key, content)
+        prompt_tokens = sum(estimate_tokens(m.text) for m in messages)
+        usage = TokenUsage(
+            prompt_tokens=prompt_tokens,
+            completion_tokens=estimate_tokens(content),
+        )
+        self.total_usage = self.total_usage + usage
+        self.request_count += 1
+        return ChatResponse(content=content, model=self._config.model, usage=usage)
+
+    def ask(self, prompt: str) -> str:
+        """Single-user-message convenience wrapper."""
+        return self.chat([ChatMessage(role="user", content=prompt)]).content
+
+    def _complete_with_retries(self, messages: Sequence[ChatMessage]) -> str:
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self._max_retries + 1):
+            try:
+                return self._backend.complete(messages, self._config)
+            except LLMBackendError as exc:
+                last_error = exc
+                _LOG.warning(
+                    "backend %s failed (attempt %d/%d): %s",
+                    self._backend.name, attempt, self._max_retries, exc,
+                )
+        raise LLMBackendError(
+            f"backend {self._backend.name} failed after "
+            f"{self._max_retries} attempts: {last_error}"
+        )
+
+    def _request_key(self, messages: Sequence[ChatMessage]) -> str:
+        head = f"{self._config.model}|{self._config.temperature}|{self._config.top_p}"
+        return head + "\x1d" + "\x1d".join(m.cache_key() for m in messages)

@@ -1,0 +1,70 @@
+"""Calibrated, deterministic error injection for the simulated LLM.
+
+A perfect-oracle simulator would make the validation tables trivially
+100% and distort every downstream number.  Real GPT-4o-mini errs at known
+rates (Table 4: accuracy 0.947; Table 5: 0.986), so the simulated backend
+passes its engine outputs through this error model.
+
+Errors must be *deterministic* (the paper runs at temperature 0) and
+*stable across runs*, so each decision is keyed by a hash of the seed and
+the item's identity rather than by a shared RNG stream whose state would
+depend on call order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Tuple
+
+
+def stable_unit(seed: int, *identity: object) -> float:
+    """A deterministic pseudo-uniform value in [0, 1) for *identity*.
+
+    Identical ``(seed, identity)`` always yields the same value,
+    independent of call order — the property that makes temperature-0
+    error injection reproducible.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(seed).encode("utf-8"))
+    for part in identity:
+        hasher.update(b"\x1f")
+        hasher.update(repr(part).encode("utf-8"))
+    (value,) = struct.unpack(">Q", hasher.digest()[:8])
+    return value / float(2**64)
+
+
+def stable_choice_index(seed: int, n: int, *identity: object) -> int:
+    """A deterministic index in ``range(n)`` for *identity*."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return int(stable_unit(seed, "choice", *identity) * n) % n
+
+
+class ErrorInjector:
+    """Decides, per item, whether the simulated model slips.
+
+    ``should(kind, *identity)`` answers one yes/no question at the rate
+    configured for *kind*.  Distinct *kind* strings draw independent
+    deterministic coins for the same item.
+    """
+
+    def __init__(self, seed: int, rates: dict) -> None:
+        self._seed = seed
+        self._rates = dict(rates)
+
+    def rate(self, kind: str) -> float:
+        return self._rates.get(kind, 0.0)
+
+    def should(self, kind: str, *identity: object) -> bool:
+        rate = self.rate(kind)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return stable_unit(self._seed, kind, *identity) < rate
+
+    def pick(self, kind: str, options: Tuple, *identity: object):
+        """Deterministically pick one of *options* for this item."""
+        index = stable_choice_index(self._seed, len(options), kind, *identity)
+        return options[index]

@@ -1,0 +1,88 @@
+"""The paper's prompts, verbatim (Appendix C Listing 2, Appendix E Listing 3).
+
+Rendering fills the placeholders; the simulated backend recognizes these
+templates by their fixed framing lines, so the prompts are the actual
+interface between pipeline and model — exactly as in the released system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import PromptError
+from .client import ChatMessage, ImageContent, TextContent
+from .parsing import EXTRACTION_FORMAT_INSTRUCTIONS
+
+#: Listing 2 — few-shot information-extraction prompt for notes/aka.
+EXTRACTION_PROMPT_TEMPLATE = """\
+You are a network topology expert who wants to find Autonomous Systems(ASs) \
+that belongs to the same organization by reading the peeringdb information.
+
+Please inform the ASs that are peering with the original AS.
+Don't inform the AS that the original AS is connected to, inform the one \
+that are peering as the same organization.
+If some AS number is mentioned in the 'as-in' and 'as-out' sections in the \
+Notes field, it doesn't mean that they belong to the same organization.
+
+The PeeringDB information for the ASN {asn} is:
+
+Notes: {notes}
+
+AKA: {aka}
+
+{format_instructions}
+
+Just inform an AS if it is number is explicitly written in the AKA or Notes \
+fields provided.
+Yo don't know the relation between a company name and its AS number.
+Also explain why you choose the ASs informed.
+"""
+
+#: Listing 3 — the text part of the favicon classifier message.
+CLASSIFIER_TEXT_TEMPLATE = (
+    "Accessing these URLs {final_urls} returned the attached favicon. "
+    "If it is a telecommunications company, what is the company's name? "
+    "If it is a subsidiary, provide the parent company's name. "
+    "If it is not a telecommunications company, is it a hosting technology? "
+    "Reply only with the name of the company or technology. "
+    "If it is none of the above, reply 'I don't know'."
+)
+
+
+def render_extraction_prompt(asn: int, notes: str, aka: str) -> str:
+    """Render Listing 2 for one PeeringDB record."""
+    if asn <= 0:
+        raise PromptError(f"bad ASN for extraction prompt: {asn}")
+    return EXTRACTION_PROMPT_TEMPLATE.format(
+        asn=asn,
+        notes=notes or "(empty)",
+        aka=aka or "(empty)",
+        format_instructions=EXTRACTION_FORMAT_INSTRUCTIONS,
+    )
+
+
+def render_classifier_messages(
+    final_urls: Sequence[str], favicon: bytes
+) -> List[ChatMessage]:
+    """Render Listing 3: one human message with text + favicon image."""
+    if not final_urls:
+        raise PromptError("classifier prompt needs at least one URL")
+    if not favicon:
+        raise PromptError("classifier prompt needs favicon bytes")
+    text = CLASSIFIER_TEXT_TEMPLATE.format(final_urls=list(final_urls))
+    return [
+        ChatMessage(
+            role="user",
+            content=[
+                TextContent(text=text),
+                ImageContent(data=favicon, media_type="image/jpeg"),
+            ],
+        )
+    ]
+
+
+#: Fixed framing lines used by the simulated backend for task routing.
+EXTRACTION_PROMPT_MARKER = (
+    "You are a network topology expert who wants to find Autonomous Systems"
+)
+CLASSIFIER_PROMPT_MARKER = "returned the attached favicon"

@@ -1,0 +1,50 @@
+"""Token accounting for LLM usage.
+
+A rough whitespace/length-based token estimator is enough offline: the
+point is to report pipeline cost in the same unit the paper's OpenAI
+bills would, and to let tests assert the NER input filter actually cuts
+spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Average characters per BPE token for English-like text.
+_CHARS_PER_TOKEN = 4.0
+
+
+def estimate_tokens(text: str) -> int:
+    """Estimate the BPE token count of *text* (≥1 for non-empty text)."""
+    if not text:
+        return 0
+    return max(1, round(len(text) / _CHARS_PER_TOKEN))
+
+
+@dataclass(frozen=True)
+class TokenUsage:
+    """Prompt/completion token tallies, addable across requests."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def __add__(self, other: "TokenUsage") -> "TokenUsage":
+        return TokenUsage(
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=self.completion_tokens + other.completion_tokens,
+        )
+
+    def cost_usd(
+        self,
+        prompt_per_million: float = 0.15,
+        completion_per_million: float = 0.60,
+    ) -> float:
+        """Dollar cost at GPT-4o-mini-era prices (defaults, July 2024)."""
+        return (
+            self.prompt_tokens * prompt_per_million
+            + self.completion_tokens * completion_per_million
+        ) / 1_000_000.0

@@ -1,0 +1,90 @@
+"""Logging helpers.
+
+The library never configures the root logger; applications (CLI, benches)
+call :func:`setup_logging` once.  Library modules obtain loggers through
+:func:`get_logger`, which namespaces everything under ``repro``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("core.pipeline")`` → logger ``repro.core.pipeline``.
+    Passing a name already starting with ``repro`` keeps it unchanged.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def setup_logging(level: int = logging.INFO, stream=None) -> None:
+    """Configure a simple handler for the ``repro`` logger tree."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if logger.handlers:
+        return
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.propagate = False
+
+
+@contextmanager
+def timed(logger: logging.Logger, label: str, level: int = logging.INFO) -> Iterator[None]:
+    """Log the wall-clock duration of a block: ``with timed(log, "scrape"):``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        logger.log(level, "%s took %.3fs", label, elapsed)
+
+
+class ProgressCounter:
+    """Periodic progress logging for long loops without external deps."""
+
+    def __init__(
+        self,
+        logger: logging.Logger,
+        label: str,
+        total: Optional[int] = None,
+        every: int = 1000,
+    ) -> None:
+        self._logger = logger
+        self._label = label
+        self._total = total
+        self._every = max(1, every)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def tick(self, n: int = 1) -> None:
+        self._count += n
+        if self._count % self._every == 0:
+            if self._total:
+                self._logger.info(
+                    "%s: %d/%d (%.1f%%)",
+                    self._label,
+                    self._count,
+                    self._total,
+                    100.0 * self._count / self._total,
+                )
+            else:
+                self._logger.info("%s: %d", self._label, self._count)
+
+    def done(self) -> None:
+        self._logger.info("%s: finished at %d", self._label, self._count)

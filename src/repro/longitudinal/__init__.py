@@ -1,0 +1,27 @@
+"""Longitudinal analysis: organizational evolution over time.
+
+§7 of the paper names the missing piece: "there is no longitudinal
+archive of websites referenced in PeeringDB, which prevents us from
+analyzing how organizational structures evolve over time."  The
+synthetic universe *has* a corporate timeline (the M&A events behind the
+redirect chains), so this package builds what the paper could not: a
+series of historical snapshots — each year's WHOIS/PeeringDB/web state
+with only the acquisitions completed by then — runs Borges on every
+snapshot, and tracks how organizations merge across years.
+"""
+
+from .evolution import (
+    EvolutionReport,
+    SnapshotSeries,
+    build_snapshot_series,
+    detect_merges,
+    run_longitudinal_study,
+)
+
+__all__ = [
+    "EvolutionReport",
+    "SnapshotSeries",
+    "build_snapshot_series",
+    "detect_merges",
+    "run_longitudinal_study",
+]

@@ -1,0 +1,22 @@
+"""Evaluation metrics: the Organization Factor (θ), confusion-matrix
+scores for the LLM stages, and the marginal-growth measures of §6."""
+
+from .org_factor import (
+    cumulative_curve,
+    org_factor,
+    org_factor_from_mapping,
+)
+from .confusion import ConfusionCounts
+from .growth import marginal_growth, marginal_members_growth
+from .partition import PartitionScores, score_partition
+
+__all__ = [
+    "cumulative_curve",
+    "org_factor",
+    "org_factor_from_mapping",
+    "ConfusionCounts",
+    "marginal_growth",
+    "marginal_members_growth",
+    "PartitionScores",
+    "score_partition",
+]

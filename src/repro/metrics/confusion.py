@@ -1,0 +1,59 @@
+"""Confusion-matrix scoring for the LLM validation tables (Tables 4–5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ConfusionCounts:
+    """TP/TN/FP/FN tallies with the derived rates the paper reports."""
+
+    tp: int = 0
+    tn: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            tn=self.tn + other.tn,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_table_row(self) -> Dict[str, float]:
+        """The fields Tables 4–5 print."""
+        return {
+            "TP": self.tp,
+            "TN": self.tn,
+            "FP": self.fp,
+            "FN": self.fn,
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "accuracy": round(self.accuracy, 3),
+        }

@@ -1,0 +1,59 @@
+"""Marginal-growth measures (§6).
+
+When a Borges cluster merges several baseline clusters, the *marginal
+growth* is the increase over the largest prior component — §6.1's
+example: merging groups of 300, 200 and 100 users yields marginal growth
+(300+200+100) − 300 = 300... no: the increase over the largest prior
+group, 600 − 300 = 300 for users summed; the paper's phrasing ("300 −
+200 = 100") measures against the group that *gained* — we follow the
+formal definition: total of the merged cluster minus the maximum
+baseline component.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Set
+
+from ..types import ASN, Cluster
+
+
+def baseline_components(
+    cluster: Cluster, baseline_cluster_of: Callable[[ASN], Cluster]
+) -> List[Cluster]:
+    """The distinct baseline clusters a new cluster is composed of."""
+    seen: Set[Cluster] = set()
+    for asn in cluster:
+        seen.add(baseline_cluster_of(asn))
+    return sorted(seen, key=lambda c: (-len(c), min(c)))
+
+
+def marginal_growth(
+    cluster: Cluster,
+    baseline_cluster_of: Callable[[ASN], Cluster],
+    weight_of: Callable[[Iterable[ASN]], float],
+) -> float:
+    """Weight gained over the heaviest baseline component.
+
+    ``weight_of`` maps an ASN group to its weight — user population for
+    Tables 7–8, country-count for Table 9 via dedicated logic, ASN count
+    for Fig. 8.
+    """
+    components = baseline_components(cluster, baseline_cluster_of)
+    if len(components) <= 1:
+        return 0.0
+    total = weight_of(cluster)
+    largest = max(weight_of(component) for component in components)
+    return max(0.0, total - largest)
+
+
+def marginal_members_growth(
+    cluster: Cluster, baseline_cluster_of: Callable[[ASN], Cluster]
+) -> int:
+    """Marginal growth counted in member ASNs (Fig. 8's unit)."""
+    return int(
+        marginal_growth(
+            cluster,
+            baseline_cluster_of,
+            weight_of=lambda group: float(len(set(group) & set(cluster))),
+        )
+    )

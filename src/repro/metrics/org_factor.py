@@ -1,0 +1,103 @@
+"""The Organization Factor θ (§5.4, Eq. 1).
+
+θ measures how strongly a mapping groups networks: 0 when every
+organization manages a single network, 1 when one organization manages
+all of them.  Construction: sort organization sizes descending, take the
+cumulative sum C_i (zero-padded to the number of networks n), and measure
+the normalized area between the cumulative curve and the
+all-singletons diagonal C_i = i.
+
+Normalizations
+--------------
+``"normalized"`` (default)::
+
+    θ = Σ_{i=1..n} (C_i − i)  /  Σ_{i=1..n} (n − i)
+
+This matches the prose (range [0, 1]; "normalized area under the
+cumulative distribution curve") and the reported magnitudes.
+
+``"paper_literal"``::
+
+    θ = (1/n²) Σ_{i=1..n} (C_i − i)
+
+Eq. (1) exactly as printed.  As DESIGN.md documents, this form cannot
+reach the paper's own reported values (it is bounded by ≈0.19 for
+AS2Org's published statistics and tops out near 0.5, not 1), so it is
+provided only for completeness and ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+NORMALIZATIONS = ("normalized", "paper_literal")
+
+
+def _validate_sizes(sizes: Sequence[int]) -> List[int]:
+    cleaned = [int(s) for s in sizes]
+    if any(s < 0 for s in cleaned):
+        raise ValueError("organization sizes must be non-negative")
+    return sorted((s for s in cleaned if s > 0), reverse=True)
+
+
+def org_factor(
+    sizes: Sequence[int],
+    normalization: str = "normalized",
+) -> float:
+    """Compute θ from organization sizes (any order; zeros ignored).
+
+    ``n`` — the number of networks — is ``sum(sizes)``: every network
+    belongs to exactly one organization in the θ graph.
+    """
+    if normalization not in NORMALIZATIONS:
+        raise ConfigError(
+            f"unknown normalization {normalization!r}; pick from {NORMALIZATIONS}"
+        )
+    ordered = _validate_sizes(sizes)
+    n = sum(ordered)
+    if n <= 1:
+        return 0.0
+    area = 0
+    cumulative = 0
+    for i in range(1, n + 1):
+        if i <= len(ordered):
+            cumulative += ordered[i - 1]
+        area += cumulative - i
+    if normalization == "paper_literal":
+        return area / (n * n)
+    max_area = n * (n - 1) // 2  # Σ (n − i) for i = 1..n
+    return area / max_area if max_area else 0.0
+
+
+def org_factor_from_mapping(mapping, normalization: str = "normalized") -> float:
+    """θ of an :class:`~repro.core.mapping.OrgMapping` (singletons included)."""
+    return org_factor(mapping.sizes(), normalization=normalization)
+
+
+def cumulative_curve(
+    sizes: Sequence[int], pad_to: int = 0
+) -> Tuple[List[int], List[int]]:
+    """The (x, C) series Fig. 7 plots.
+
+    x runs over organization index (descending size order), zero-padded
+    to ``max(pad_to, n)`` so two methods over the same network set align.
+    """
+    ordered = _validate_sizes(sizes)
+    n = max(sum(ordered), pad_to, len(ordered))
+    xs: List[int] = []
+    ys: List[int] = []
+    cumulative = 0
+    for i in range(1, n + 1):
+        if i <= len(ordered):
+            cumulative += ordered[i - 1]
+        xs.append(i)
+        ys.append(cumulative)
+    return xs, ys
+
+
+def singleton_curve(n: int) -> Tuple[List[int], List[int]]:
+    """Fig. 7's reference: every organization manages a single network."""
+    xs = list(range(1, n + 1))
+    return xs, xs[:]

@@ -1,0 +1,181 @@
+"""Partition-quality metrics against ground truth.
+
+§5.4 is explicit that θ "cannot assess AS-to-Organization performance on
+its own; ... the Organization Factor does not distinguish between correct
+and incorrect mappings."  The real system has no ground truth; the
+synthetic universe does, so this module supplies the missing yardsticks —
+all standard external clustering measures over the ASN partition:
+
+* **pairwise precision / recall / F1** — over all sibling pairs;
+* **Adjusted Rand Index (ARI)** — chance-corrected pair agreement;
+* **homogeneity / completeness / V-measure** — entropy-based.
+
+Used by the beyond-θ analysis and the `bench_ground_truth.py` bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..types import ASN, Cluster
+
+
+def _pair_count(n: int) -> int:
+    """Number of unordered pairs among *n* items."""
+    return n * (n - 1) // 2
+
+
+def _contingency(
+    predicted: Sequence[Cluster], truth: Sequence[Cluster]
+) -> Tuple[Dict[Tuple[int, int], int], List[int], List[int], int]:
+    """Contingency table over the common ASN universe.
+
+    Items present in only one partition are ignored (metrics compare the
+    shared universe; the mappings in this package always share it).
+    """
+    truth_of: Dict[ASN, int] = {}
+    for j, cluster in enumerate(truth):
+        for asn in cluster:
+            truth_of[asn] = j
+    table: Dict[Tuple[int, int], int] = {}
+    predicted_sizes: List[int] = []
+    truth_sizes = [0] * len(truth)
+    total = 0
+    for i, cluster in enumerate(predicted):
+        members = [a for a in cluster if a in truth_of]
+        predicted_sizes.append(len(members))
+        for asn in members:
+            j = truth_of[asn]
+            table[(i, j)] = table.get((i, j), 0) + 1
+            truth_sizes[j] += 1
+            total += 1
+    return table, predicted_sizes, truth_sizes, total
+
+
+@dataclass(frozen=True)
+class PartitionScores:
+    """All partition-quality scores for one mapping vs ground truth."""
+
+    pair_precision: float
+    pair_recall: float
+    pair_f1: float
+    adjusted_rand: float
+    homogeneity: float
+    completeness: float
+    v_measure: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "pair_precision": round(self.pair_precision, 4),
+            "pair_recall": round(self.pair_recall, 4),
+            "pair_f1": round(self.pair_f1, 4),
+            "ari": round(self.adjusted_rand, 4),
+            "homogeneity": round(self.homogeneity, 4),
+            "completeness": round(self.completeness, 4),
+            "v_measure": round(self.v_measure, 4),
+        }
+
+
+def score_partition(
+    predicted: Sequence[Cluster], truth: Sequence[Cluster]
+) -> PartitionScores:
+    """Compute every score for *predicted* against *truth*."""
+    table, predicted_sizes, truth_sizes, total = _contingency(predicted, truth)
+    if total == 0:
+        return PartitionScores(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    together_both = sum(_pair_count(v) for v in table.values())
+    together_predicted = sum(_pair_count(v) for v in predicted_sizes)
+    together_truth = sum(_pair_count(v) for v in truth_sizes)
+
+    precision = (
+        together_both / together_predicted if together_predicted else 1.0
+    )
+    recall = together_both / together_truth if together_truth else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+
+    ari = _adjusted_rand(
+        together_both, together_predicted, together_truth, _pair_count(total)
+    )
+    homogeneity, completeness, v_measure = _entropy_scores(
+        table, predicted_sizes, truth_sizes, total
+    )
+    return PartitionScores(
+        pair_precision=precision,
+        pair_recall=recall,
+        pair_f1=f1,
+        adjusted_rand=ari,
+        homogeneity=homogeneity,
+        completeness=completeness,
+        v_measure=v_measure,
+    )
+
+
+def _adjusted_rand(
+    together_both: int,
+    together_predicted: int,
+    together_truth: int,
+    all_pairs: int,
+) -> float:
+    """Hubert & Arabie's adjusted Rand index."""
+    if all_pairs == 0:
+        return 1.0
+    expected = together_predicted * together_truth / all_pairs
+    maximum = (together_predicted + together_truth) / 2.0
+    denominator = maximum - expected
+    if denominator == 0:
+        # Both partitions are all-singletons (or identical trivial cases).
+        return 1.0 if together_both == expected else 0.0
+    return (together_both - expected) / denominator
+
+
+def _entropy_scores(
+    table: Dict[Tuple[int, int], int],
+    predicted_sizes: Sequence[int],
+    truth_sizes: Sequence[int],
+    total: int,
+) -> Tuple[float, float, float]:
+    """Homogeneity, completeness, V-measure (Rosenberg & Hirschberg)."""
+
+    def entropy(sizes: Iterable[int]) -> float:
+        value = 0.0
+        for size in sizes:
+            if size > 0:
+                p = size / total
+                value -= p * math.log(p)
+        return value
+
+    h_truth = entropy(truth_sizes)
+    h_predicted = entropy(predicted_sizes)
+
+    # Conditional entropies from the contingency table.
+    h_truth_given_predicted = 0.0
+    h_predicted_given_truth = 0.0
+    for (i, j), count in table.items():
+        p = count / total
+        h_truth_given_predicted -= p * (
+            math.log(count / predicted_sizes[i]) if predicted_sizes[i] else 0.0
+        )
+        h_predicted_given_truth -= p * (
+            math.log(count / truth_sizes[j]) if truth_sizes[j] else 0.0
+        )
+
+    homogeneity = (
+        1.0 - h_truth_given_predicted / h_truth if h_truth > 0 else 1.0
+    )
+    completeness = (
+        1.0 - h_predicted_given_truth / h_predicted if h_predicted > 0 else 1.0
+    )
+    if homogeneity + completeness == 0:
+        v_measure = 0.0
+    else:
+        v_measure = (
+            2 * homogeneity * completeness / (homogeneity + completeness)
+        )
+    return homogeneity, completeness, v_measure

@@ -1,0 +1,18 @@
+"""PeeringDB substrate: data model, snapshot container, and JSON I/O.
+
+Models the subset of the PeeringDB schema Borges consumes — ``org`` and
+``net`` objects linked by ``org_id`` — including the free-text ``notes``
+and ``aka`` fields and the ``website`` field that drive the paper's three
+inference modules.
+"""
+
+from .models import Network, Organization
+from .snapshot import PDBSnapshot, load_snapshot, save_snapshot
+
+__all__ = [
+    "Network",
+    "Organization",
+    "PDBSnapshot",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,134 @@
+"""PeeringDB data objects.
+
+Follows the live PeeringDB schema naming where it matters to Borges:
+``org`` objects carry ``id`` and ``name``; ``net`` objects carry ``asn``,
+``name``, ``aka``, ``notes``, ``website`` and the foreign key ``org_id``.
+Only the fields the paper's pipeline reads are modelled; extra fields in
+loaded JSON are preserved round-trip via ``extra``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..errors import SchemaError
+from ..types import ASN, PdbOrgID, is_valid_asn
+
+
+@dataclass
+class Organization:
+    """A PeeringDB ``org`` object (an operator-defined organization)."""
+
+    org_id: PdbOrgID
+    name: str
+    website: str = ""
+    country: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> "Organization":
+        if not isinstance(self.org_id, int) or self.org_id <= 0:
+            raise SchemaError(f"org_id must be a positive int: {self.org_id!r}")
+        if not self.name:
+            raise SchemaError(f"org {self.org_id}: empty name")
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        record = {
+            "id": self.org_id,
+            "name": self.name,
+            "website": self.website,
+            "country": self.country,
+        }
+        record.update(self.extra)
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "Organization":
+        try:
+            org_id = int(record["id"])
+            name = str(record["name"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"bad org record: {record!r}") from exc
+        known = {"id", "name", "website", "country"}
+        return cls(
+            org_id=org_id,
+            name=name,
+            website=str(record.get("website", "") or ""),
+            country=str(record.get("country", "") or ""),
+            extra={k: v for k, v in record.items() if k not in known},
+        ).validate()
+
+
+@dataclass
+class Network:
+    """A PeeringDB ``net`` object (one AS as registered by its operator)."""
+
+    asn: ASN
+    name: str
+    org_id: PdbOrgID
+    aka: str = ""
+    notes: str = ""
+    website: str = ""
+    info_type: str = ""  # e.g. "NSP", "Cable/DSL/ISP", "Content"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> "Network":
+        if not is_valid_asn(self.asn):
+            raise SchemaError(f"net {self.name!r}: invalid ASN {self.asn!r}")
+        if not isinstance(self.org_id, int) or self.org_id <= 0:
+            raise SchemaError(f"net AS{self.asn}: bad org_id {self.org_id!r}")
+        if not self.name:
+            raise SchemaError(f"net AS{self.asn}: empty name")
+        return self
+
+    @property
+    def has_website(self) -> bool:
+        return bool(self.website.strip())
+
+    @property
+    def freeform_text(self) -> str:
+        """The concatenated free-text the NER stage inspects."""
+        parts = [p for p in (self.aka, self.notes) if p]
+        return "\n".join(parts)
+
+    def text_field(self, which: str) -> str:
+        """Return the named free-text field (``"notes"`` or ``"aka"``)."""
+        if which == "notes":
+            return self.notes
+        if which == "aka":
+            return self.aka
+        raise ValueError(f"unknown text field {which!r}")
+
+    def to_json(self) -> Dict[str, Any]:
+        record = {
+            "asn": self.asn,
+            "name": self.name,
+            "org_id": self.org_id,
+            "aka": self.aka,
+            "notes": self.notes,
+            "website": self.website,
+            "info_type": self.info_type,
+        }
+        record.update(self.extra)
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "Network":
+        try:
+            asn = int(record["asn"])
+            name = str(record["name"])
+            org_id = int(record["org_id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"bad net record: {record!r}") from exc
+        known = {"asn", "name", "org_id", "aka", "notes", "website", "info_type"}
+        return cls(
+            asn=asn,
+            name=name,
+            org_id=org_id,
+            aka=str(record.get("aka", "") or ""),
+            notes=str(record.get("notes", "") or ""),
+            website=str(record.get("website", "") or ""),
+            info_type=str(record.get("info_type", "") or ""),
+            extra={k: v for k, v in record.items() if k not in known},
+        ).validate()

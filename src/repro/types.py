@@ -1,0 +1,119 @@
+"""Common type aliases and small value helpers shared across the package.
+
+The reproduction deals with a handful of ubiquitous identifiers — ASNs,
+organization IDs from two registries, URLs, favicon hashes.  Keeping the
+aliases in one place makes signatures self-documenting without inventing
+wrapper classes for what are fundamentally ints and strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+#: Autonomous System Number.  Always a positive integer; 32-bit ASNs are
+#: allowed (RFC 6793), so the valid range is 1 .. 2**32 - 1.
+ASN = int
+
+#: WHOIS organization identifier (``OID_W`` in the paper), e.g. ``"@family-42"``
+#: or a registry handle such as ``"LPL-154-ARIN"``.
+WhoisOrgID = str
+
+#: PeeringDB organization identifier (``OID_P``), an integer in the real
+#: schema; kept as int here.
+PdbOrgID = int
+
+#: A cluster of sibling ASNs: the unit every inference feature produces.
+Cluster = FrozenSet[ASN]
+
+#: Mapping from ASN to the identifier of the organization that manages it.
+AsnToOrg = Dict[ASN, str]
+
+#: A normalized absolute URL string.
+URL = str
+
+#: Hex digest identifying favicon content.
+FaviconHash = str
+
+#: ISO 3166-1 alpha-2 country code, upper-case.
+CountryCode = str
+
+ASN_MIN = 1
+ASN_MAX = 2**32 - 1
+
+#: ASN values reserved by IANA that must never be emitted as siblings:
+#: AS 0 (RFC 7607), AS 23456 (AS_TRANS), 64496-64511 / 65536-65551 (docs),
+#: 64512-65534 / 4200000000-4294967294 (private), 65535 / 4294967295 (last).
+RESERVED_ASN_RANGES: Tuple[Tuple[int, int], ...] = (
+    (0, 0),
+    (23456, 23456),
+    (64496, 64511),
+    (64512, 65534),
+    (65535, 65535),
+    (65536, 65551),
+    (4200000000, 4294967294),
+    (4294967295, 4294967295),
+)
+
+
+def is_valid_asn(value: int) -> bool:
+    """Return True if *value* is a syntactically valid, assignable ASN."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        return False
+    if value < ASN_MIN or value > ASN_MAX:
+        return False
+    return not is_reserved_asn(value)
+
+
+def is_reserved_asn(value: int) -> bool:
+    """Return True if *value* falls into an IANA-reserved ASN range."""
+    return any(lo <= value <= hi for lo, hi in RESERVED_ASN_RANGES)
+
+
+def validate_asn(value: int) -> ASN:
+    """Return *value* if it is a valid ASN, else raise ``ValueError``."""
+    if not is_valid_asn(value):
+        raise ValueError(f"not a valid assignable ASN: {value!r}")
+    return value
+
+
+def freeze_cluster(asns: Iterable[ASN]) -> Cluster:
+    """Build a canonical (frozen) sibling cluster from any ASN iterable."""
+    return frozenset(int(a) for a in asns)
+
+
+def clusters_to_asn_map(clusters: Iterable[Cluster]) -> Dict[ASN, Cluster]:
+    """Index clusters by member ASN.
+
+    Raises ``ValueError`` if two clusters share an ASN — callers must merge
+    overlapping clusters (see :mod:`repro.core.merge`) before indexing.
+    """
+    index: Dict[ASN, Cluster] = {}
+    for cluster in clusters:
+        for asn in cluster:
+            if asn in index and index[asn] != cluster:
+                raise ValueError(
+                    f"ASN {asn} appears in two distinct clusters; merge first"
+                )
+            index[asn] = cluster
+    return index
+
+
+def partition_sizes(clusters: Iterable[Iterable[ASN]]) -> List[int]:
+    """Return cluster sizes sorted in descending order (θ's input shape)."""
+    return sorted((len(set(c)) for c in clusters), reverse=True)
+
+
+def jaccard(a: Set[ASN], b: Set[ASN]) -> float:
+    """Jaccard similarity of two ASN sets; 0.0 for two empty sets."""
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def invert_asn_map(mapping: Mapping[ASN, str]) -> Dict[str, Set[ASN]]:
+    """Invert an ASN→org mapping into org→set-of-ASNs."""
+    inverted: Dict[str, Set[ASN]] = {}
+    for asn, org in mapping.items():
+        inverted.setdefault(org, set()).add(asn)
+    return inverted

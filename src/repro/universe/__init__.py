@@ -1,0 +1,31 @@
+"""Synthetic-Internet universe: the offline stand-in for the paper's inputs.
+
+The generator builds a ground-truth world of organizations (singletons
+and multinational conglomerates with branded subsidiaries), applies an
+M&A history, and *exports* the imperfect views real systems see:
+
+* a WHOIS dataset where conglomerates fragment into legal entities,
+* a PeeringDB snapshot with operator-written notes/aka/website fields,
+* a simulated web with post-merger redirect chains and favicons,
+* APNIC-style user populations and an AS topology for AS-Rank.
+
+Crucially, it also keeps the *truth* (``GroundTruth`` + ``Annotations``)
+so validation tables can be computed the way the paper computed them by
+manual inspection.
+"""
+
+from .entities import Brand, GroundTruth, Org, OrgCategory
+from .events import EventKind, MnAEvent
+from .generator import Universe, UniverseGenerator, generate_universe
+
+__all__ = [
+    "Brand",
+    "GroundTruth",
+    "Org",
+    "OrgCategory",
+    "EventKind",
+    "MnAEvent",
+    "Universe",
+    "UniverseGenerator",
+    "generate_universe",
+]

@@ -1,0 +1,605 @@
+"""The paper's narrated scenarios, planted verbatim into every universe.
+
+The paper motivates and validates Borges with concrete cases: the
+Lumen/CenturyLink split across WHOIS vs PeeringDB (Fig. 3), Deutsche
+Telekom's subsidiary-listing notes (Fig. 4), Edgecast/Limelight sharing
+www.edg.io (Fig. 5a), the Clearwire → Sprint → T-Mobile redirect chain
+(Fig. 5b), Claro's shared favicon across differing domains (Table 2),
+Orange's shared brand token (§4.3.3), Digicel's Caribbean footprint
+(Table 9), the Maxihost upstream-listing notes (Appendix B), the
+Bootstrap default-favicon trap (Table 2), and the 16 hypergiants of §6.1
+(Fig. 9).
+
+This module builds those organizations with their real ASNs and encodes
+the registry imperfections each scenario needs, as exporter directives
+the generator honours.  Tests and examples reference the constants here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..types import ASN
+from ..web.http import RedirectKind
+from .entities import Brand, Org, OrgCategory
+from .events import EventKind, MnAEvent
+from .notes_synth import SynthesizedText
+
+# -- well-known ASNs (as in the paper) ------------------------------------
+
+AS_LUMEN = 3356
+AS_CENTURYLINK = 209
+AS_GLOBAL_CROSSING = 3549
+AS_DEUTSCHE_TELEKOM = 3320
+AS_SLOVAK_TELEKOM = 6855
+AS_HRVATSKI_TELEKOM = 5391
+AS_TMOBILE_US = 21928
+AS_CLEARWIRE = 16586
+AS_EDGECAST = 15133
+AS_LIMELIGHT = 22822
+AS_OPEN_TRANSIT = 5511
+AS_MAXIHOST = 262287
+AS_COGENT = 174
+
+#: The 16 hypergiants of §6.1, name → primary ASN (paper's list).
+HYPERGIANT_PRIMARY_ASNS: Dict[str, ASN] = {
+    "Akamai": 20940,
+    "Amazon": 16509,
+    "Apple": 714,
+    "Facebook": 32934,
+    "Google": 15169,
+    "Netflix": 2906,
+    "Yahoo!": 10310,
+    "OVH": 16276,
+    "Limelight": AS_LIMELIGHT,
+    "Microsoft": 8075,
+    "Twitter": 13414,
+    "Twitch": 46489,
+    "Cloudflare": 13335,
+    "EdgeCast": AS_EDGECAST,
+    "Booking.com": 43996,
+    "Spotify": 8403,
+}
+
+#: Synthetic filler ASNs (all < 100000, outside the generator's pool).
+_FILLER_BASE = 90000
+
+
+@dataclass
+class ExtraSite:
+    """A web host not owned by any surviving brand (e.g. www.sprint.com)."""
+
+    host: str
+    redirect_target: str = ""
+    redirect_kind: RedirectKind = RedirectKind.HTTP_301
+    favicon_brand: str = ""
+    title: str = ""
+
+
+@dataclass
+class CanonicalPlan:
+    """Orgs plus exporter directives for the planted scenarios."""
+
+    orgs: List[Org] = field(default_factory=list)
+    events: List[MnAEvent] = field(default_factory=list)
+    #: brand_id → WHOIS-group key; brands sharing a key share one OID_W.
+    whois_group: Dict[str, str] = field(default_factory=dict)
+    #: brand_id → PDB-org key; brands sharing a key share one OID_P.
+    pdb_group: Dict[str, str] = field(default_factory=dict)
+    #: Brands that must appear in PeeringDB.
+    register: Set[str] = field(default_factory=set)
+    #: brand_id → PDB ``website`` field (when it differs from its host).
+    website_field: Dict[str, str] = field(default_factory=dict)
+    #: ASN → notes text with truth labels.
+    notes: Dict[ASN, SynthesizedText] = field(default_factory=dict)
+    #: ASN → aka text with truth labels.
+    aka: Dict[ASN, SynthesizedText] = field(default_factory=dict)
+    #: Hosts that must stay reachable despite the dead-site lottery.
+    alive_hosts: Set[str] = field(default_factory=set)
+    #: host → (target, kind) redirect overrides.
+    redirects: Dict[str, Tuple[str, RedirectKind]] = field(default_factory=dict)
+    extra_sites: List[ExtraSite] = field(default_factory=list)
+
+    def all_asns(self) -> List[ASN]:
+        result: List[ASN] = []
+        for org in self.orgs:
+            result.extend(org.asns)
+        return sorted(result)
+
+    # -- small builder helpers ------------------------------------------------
+
+    def _add_org(self, org: Org) -> Org:
+        self.orgs.append(org)
+        for brand in org.brands:
+            self.register.add(brand.brand_id)
+            if brand.website_host:
+                self.alive_hosts.add(brand.website_host)
+        return org
+
+
+def _brand(
+    org_id: str,
+    tag: str,
+    name: str,
+    country: str,
+    cctld: str,
+    asns: List[ASN],
+    host: str = "",
+    favicon: str = "",
+    acquired: bool = False,
+    language: str = "en",
+) -> Brand:
+    return Brand(
+        brand_id=f"{org_id}/{tag}",
+        name=name,
+        org_id=org_id,
+        country=country,
+        cctld=cctld,
+        asns=list(asns),
+        website_host=host,
+        favicon_brand=favicon,
+        acquired=acquired,
+        language=language,
+    )
+
+
+def _filler(offset: int, count: int) -> List[ASN]:
+    start = _FILLER_BASE + offset
+    return list(range(start, start + count))
+
+
+def build_canonical_plan() -> CanonicalPlan:
+    """Construct every planted scenario.  Deterministic, no randomness."""
+    plan = CanonicalPlan()
+    _plant_lumen(plan)
+    _plant_deutsche_telekom(plan)
+    _plant_edgio(plan)
+    _plant_claro(plan)
+    _plant_orange(plan)
+    _plant_digicel(plan)
+    _plant_tigo(plan)
+    _plant_telkom_indonesia(plan)
+    _plant_maxihost(plan)
+    _plant_bootstrap_trap(plan)
+    _plant_hypergiants(plan)
+    return plan
+
+
+# -- individual scenarios -----------------------------------------------------
+
+
+def _plant_lumen(plan: CanonicalPlan) -> None:
+    """Fig. 3: WHOIS splits Lumen/CenturyLink; PeeringDB unites them."""
+    org = Org(
+        org_id="gt-lumen",
+        name="Lumen Technologies",
+        category=OrgCategory.TRANSIT,
+        region="northam",
+        is_conglomerate=True,
+        brand_token="lumen",
+    )
+    org.brands = [
+        _brand("gt-lumen", "lumen", "Lumen", "US", "com",
+               [AS_LUMEN, AS_GLOBAL_CROSSING], host="www.lumen.com",
+               favicon="lumen"),
+        _brand("gt-lumen", "centurylink", "CenturyLink", "US", "com",
+               [AS_CENTURYLINK], host="www.centurylink.com",
+               favicon="lumen", acquired=True),
+    ]
+    plan._add_org(org)
+    plan.events.append(
+        MnAEvent(EventKind.ACQUISITION, 2016, "gt-lumen", "gt-centurylink-legacy")
+    )
+    # WHOIS: separate legal entities (the failure AS2Org inherits).
+    plan.whois_group["gt-lumen/lumen"] = "W:gt-lumen/lumen"
+    plan.whois_group["gt-lumen/centurylink"] = "W:gt-lumen/centurylink"
+    # PeeringDB: one operator org for both (the Fig. 3 win for OID_P).
+    plan.pdb_group["gt-lumen/lumen"] = "P:gt-lumen"
+    plan.pdb_group["gt-lumen/centurylink"] = "P:gt-lumen"
+    plan.redirects["www.centurylink.com"] = (
+        "https://www.lumen.com/", RedirectKind.HTTP_301
+    )
+
+
+def _plant_deutsche_telekom(plan: CanonicalPlan) -> None:
+    """Fig. 4 notes + the Clearwire chain of Fig. 5b."""
+    org = Org(
+        org_id="gt-dtag",
+        name="Deutsche Telekom",
+        category=OrgCategory.ACCESS,
+        region="europe",
+        is_conglomerate=True,
+        brand_token="telekom",
+    )
+    org.brands = [
+        _brand("gt-dtag", "dtag", "Deutsche Telekom AG", "DE", "de",
+               [AS_DEUTSCHE_TELEKOM], host="www.telekom.de",
+               favicon="telekom", language="de"),
+        _brand("gt-dtag", "sk", "Slovak Telekom", "SK", "sk",
+               [AS_SLOVAK_TELEKOM], host="www.telekom.sk", favicon="telekom"),
+        _brand("gt-dtag", "hr", "Hrvatski Telekom", "HR", "ht.hr",
+               [AS_HRVATSKI_TELEKOM], host="www.t.ht.hr", favicon="telekom"),
+        _brand("gt-dtag", "tmus", "T-Mobile US", "US", "com",
+               [AS_TMOBILE_US], host="www.t-mobile.com", favicon="telekom"),
+        _brand("gt-dtag", "clearwire", "Clear Wire", "US", "com",
+               [AS_CLEARWIRE], host="www.clearwire.com",
+               favicon="", acquired=True),
+    ]
+    plan._add_org(org)
+    plan.events.append(
+        MnAEvent(EventKind.ACQUISITION, 2020, "gt-dtag", "gt-sprint-legacy")
+    )
+    for brand in org.brands:
+        plan.whois_group[brand.brand_id] = f"W:{brand.brand_id}"
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+    # The Fig. 4 notes: DTAG reports its European subsidiaries.
+    plan.notes[AS_DEUTSCHE_TELEKOM] = SynthesizedText(
+        text=(
+            "Deutsche Telekom Global Carrier.\n"
+            "Our European subsidiaries are part of the same organization: "
+            f"AS{AS_SLOVAK_TELEKOM} (Slovak Telekom) and "
+            f"AS{AS_HRVATSKI_TELEKOM} (Hrvatski Telekom)."
+        ),
+        true_siblings=(AS_HRVATSKI_TELEKOM, AS_SLOVAK_TELEKOM),
+    )
+    # Fig. 5b: Clearwire's stale PDB site redirects through Sprint.
+    plan.redirects["www.clearwire.com"] = (
+        "https://www.sprint.com/", RedirectKind.HTTP_302
+    )
+    plan.extra_sites.append(
+        ExtraSite(
+            host="www.sprint.com",
+            redirect_target="https://www.t-mobile.com/",
+            redirect_kind=RedirectKind.HTTP_301,
+            title="Sprint",
+        )
+    )
+    plan.alive_hosts.add("www.sprint.com")
+
+
+def _plant_edgio(plan: CanonicalPlan) -> None:
+    """Fig. 5a: Edgecast and Limelight both land on www.edg.io."""
+    org = Org(
+        org_id="gt-edgio",
+        name="Edgio",
+        category=OrgCategory.CONTENT,
+        region="northam",
+        is_conglomerate=True,
+        is_hypergiant=True,
+        brand_token="edgio",
+    )
+    org.brands = [
+        _brand("gt-edgio", "edgecast", "Edgecast", "US", "com",
+               [AS_EDGECAST] + _filler(0, 3), host="www.edgecast.com",
+               favicon="edgio", acquired=True),
+        _brand("gt-edgio", "limelight", "Limelight Networks", "US", "com",
+               [AS_LIMELIGHT] + _filler(10, 8), host="www.edg.io",
+               favicon="edgio"),
+    ]
+    plan._add_org(org)
+    plan.events.append(
+        MnAEvent(EventKind.MERGER, 2022, "gt-edgio", "gt-edgecast-legacy")
+    )
+    for brand in org.brands:
+        plan.whois_group[brand.brand_id] = f"W:{brand.brand_id}"
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+    plan.redirects["www.edgecast.com"] = (
+        "https://www.edg.io/", RedirectKind.HTTP_301
+    )
+
+
+def _plant_claro(plan: CanonicalPlan) -> None:
+    """Table 2 row 1: shared favicon, slightly different domains."""
+    org = Org(
+        org_id="gt-claro",
+        name="Claro",
+        category=OrgCategory.ACCESS,
+        region="latam",
+        is_conglomerate=True,
+        brand_token="claro",
+    )
+    countries = (
+        ("cl", "Claro Chile", "CL", "cl", "www.clarochile.cl"),
+        ("pr", "Claro Puerto Rico", "PR", "pr", "www.claropr.com"),
+        ("pe", "Claro Peru", "PE", "com.pe", "www.claro.com.pe"),
+        ("do", "Claro Dominicana", "DO", "com.do", "www.claro.com.do"),
+        ("br", "Claro Brasil", "BR", "com.br", "www.claro.com.br"),
+        ("ar", "Claro Argentina", "AR", "com.ar", "www.claro.com.ar"),
+    )
+    org.brands = [
+        _brand("gt-claro", tag, name, cc, tld, _filler(100 + i * 2, 2),
+               host=host, favicon="claro", language="es")
+        for i, (tag, name, cc, tld, host) in enumerate(countries)
+    ]
+    plan._add_org(org)
+    for brand in org.brands:
+        plan.whois_group[brand.brand_id] = f"W:{brand.brand_id}"
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+
+
+def _plant_orange(plan: CanonicalPlan) -> None:
+    """§4.3.3: orange.es/orange.pl share brand token; Open Transit differs."""
+    org = Org(
+        org_id="gt-orange",
+        name="Orange",
+        category=OrgCategory.ACCESS,
+        region="europe",
+        is_conglomerate=True,
+        brand_token="orange",
+    )
+    org.brands = [
+        _brand("gt-orange", "fr", "Orange France", "FR", "fr",
+               _filler(130, 2), host="www.orange.fr", favicon="orange",
+               language="fr"),
+        _brand("gt-orange", "es", "Orange Espana", "ES", "es",
+               _filler(132, 1), host="www.orange.es", favicon="orange",
+               language="es"),
+        _brand("gt-orange", "pl", "Orange Polska", "PL", "pl",
+               _filler(133, 1), host="www.orange.pl", favicon="orange"),
+        _brand("gt-orange", "opentransit", "Open Transit", "FR", "net",
+               [AS_OPEN_TRANSIT], host="www.opentransit.net",
+               favicon="orange", language="fr"),
+    ]
+    plan._add_org(org)
+    for brand in org.brands:
+        plan.whois_group[brand.brand_id] = f"W:{brand.brand_id}"
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+
+
+def _plant_digicel(plan: CanonicalPlan) -> None:
+    """Table 1/Table 9: Digicel's subsidiaries share favicon and token."""
+    org = Org(
+        org_id="gt-digicel",
+        name="Digicel",
+        category=OrgCategory.ACCESS,
+        region="caribbean",
+        is_conglomerate=True,
+        brand_token="digicel",
+    )
+    countries = (
+        "JM", "TT", "BB", "HT", "GY", "SR", "LC", "VC", "GD", "AG",
+        "DM", "KN", "AW", "CW", "BM", "KY", "TC", "VG", "AI", "MS",
+        "BZ", "FJ", "PG", "VU", "WS",
+    )
+    org.brands = [
+        _brand(
+            "gt-digicel", cc.lower(), f"Digicel {cc}", cc, "com",
+            _filler(140 + i, 1),
+            host=f"www.digicel{cc.lower()}.com", favicon="digicel",
+        )
+        for i, cc in enumerate(countries)
+    ]
+    plan._add_org(org)
+    # WHOIS groups the first four under one legacy org (footprint 4 in
+    # AS2Org), everything else fragments (→ 25 under Borges, Table 9).
+    for i, brand in enumerate(org.brands):
+        key = "W:gt-digicel/legacy" if i < 4 else f"W:{brand.brand_id}"
+        plan.whois_group[brand.brand_id] = key
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+
+
+def _plant_tigo(plan: CanonicalPlan) -> None:
+    """A Table 8 heavyweight: TIGO across Latin America (favicon+token)."""
+    org = Org(
+        org_id="gt-tigo",
+        name="TIGO",
+        category=OrgCategory.ACCESS,
+        region="latam",
+        is_conglomerate=True,
+        brand_token="tigo",
+    )
+    countries = (
+        ("CO", "com.co"), ("GT", "com.gt"), ("HN", "com.hn"),
+        ("SV", "com.sv"), ("PY", "com.py"), ("BO", "com.bo"),
+        ("TZ", "co.tz"),
+    )
+    org.brands = [
+        _brand("gt-tigo", cc.lower(), f"Tigo {cc}", cc, tld,
+               _filler(170 + i * 2, 2), host=f"www.tigo.{tld}",
+               favicon="tigo", language="es")
+        for i, (cc, tld) in enumerate(countries)
+    ]
+    plan._add_org(org)
+    for brand in org.brands:
+        plan.whois_group[brand.brand_id] = f"W:{brand.brand_id}"
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+
+
+def _plant_telkom_indonesia(plan: CanonicalPlan) -> None:
+    """Another Table 8 heavyweight, linked through notes + aka."""
+    org = Org(
+        org_id="gt-telkomid",
+        name="Telkom Indonesia",
+        category=OrgCategory.ACCESS,
+        region="apac",
+        is_conglomerate=True,
+        brand_token="telkom",
+    )
+    main = _filler(190, 1)[0]
+    mobile = _filler(191, 1)[0]
+    metra = _filler(192, 1)[0]
+    org.brands = [
+        _brand("gt-telkomid", "telkom", "Telkom Indonesia", "ID", "co.id",
+               [main], host="www.telkom.co.id", favicon="telkomid",
+               language="id"),
+        _brand("gt-telkomid", "telkomsel", "Telkomsel", "ID", "co.id",
+               [mobile], host="www.telkomsel.co.id", favicon="telkomid",
+               language="id"),
+        _brand("gt-telkomid", "metra", "Telkom Metra", "ID", "co.id",
+               [metra], host="www.telkommetra.co.id", favicon="telkomid",
+               language="id"),
+    ]
+    plan._add_org(org)
+    for brand in org.brands:
+        plan.whois_group[brand.brand_id] = f"W:{brand.brand_id}"
+        plan.pdb_group[brand.brand_id] = f"P:{brand.brand_id}"
+    plan.notes[main] = SynthesizedText(
+        text=(
+            "Kami adalah bagian dari grup Telkom Indonesia. Kami juga "
+            f"mengoperasikan AS{mobile} dan AS{metra}."
+        ),
+        true_siblings=(mobile, metra),
+    )
+    plan.aka[mobile] = SynthesizedText(
+        text=f"Telkomsel (AS{mobile}), sister of AS{main}",
+        true_siblings=(main,),
+    )
+
+
+def _plant_maxihost(plan: CanonicalPlan) -> None:
+    """Appendix B: numeric notes that report upstreams, not siblings."""
+    org = Org(
+        org_id="gt-maxihost",
+        name="Latitude.sh",
+        category=OrgCategory.ENTERPRISE,
+        region="latam",
+        brand_token="latitude",
+    )
+    org.brands = [
+        _brand("gt-maxihost", "main", "Maxihost", "BR", "com.br",
+               [AS_MAXIHOST], host="www.latitude.sh", favicon="latitude",
+               language="pt"),
+    ]
+    plan._add_org(org)
+    plan.whois_group["gt-maxihost/main"] = "W:gt-maxihost/main"
+    plan.pdb_group["gt-maxihost/main"] = "P:gt-maxihost/main"
+    plan.notes[AS_MAXIHOST] = SynthesizedText(
+        text=(
+            "Through the Bare Metal Cloud proprietary platform, Maxihost "
+            "deploys high-performance physical servers in multiple regions "
+            "around the globe.\n\n"
+            "We connect directly with the following ISPs,\n"
+            "- Algar (AS16735)\n"
+            "- Sparkle (AS6762)\n"
+            "- Voxility (AS3223)\n"
+            "- GTT (AS3257)\n"
+            f"- Cogent (AS{AS_COGENT})"
+        ),
+        true_siblings=(),
+        foreign_asns=(AS_COGENT, 3223, 3257, 6762, 16735),
+    )
+
+
+def _plant_bootstrap_trap(plan: CanonicalPlan) -> None:
+    """Table 2 row 2: unrelated sites sharing Bootstrap's default icon."""
+    hosts = (
+        ("www.anosbd.com", "BD", "com.bd"),
+        ("www.rptechzone.in", "IN", "co.in"),
+        ("bapenda.riau.go.id", "ID", "riau.go.id"),
+        ("www.conexaointernet.com.br", "BR", "com.br"),
+        ("www.ramdiaonlinebd.com", "BD", "com.bd"),
+    )
+    for i, (host, country, tld) in enumerate(hosts):
+        org_id = f"gt-bootstrap-{i}"
+        org = Org(
+            org_id=org_id,
+            name=f"Bootstrap Trap {i}",
+            category=OrgCategory.ENTERPRISE,
+            region="apac",
+        )
+        org.brands = [
+            _brand(org_id, "main", f"Unrelated ISP {i}", country, tld,
+                   _filler(200 + i, 1), host=host,
+                   favicon="bootstrap-default"),
+        ]
+        plan._add_org(org)
+        plan.whois_group[f"{org_id}/main"] = f"W:{org_id}/main"
+        plan.pdb_group[f"{org_id}/main"] = f"P:{org_id}/main"
+
+
+def _plant_hypergiants(plan: CanonicalPlan) -> None:
+    """The 16 hypergiants of §6.1 with the paper's observed gains.
+
+    Five improve under Borges (Fig. 9): EdgeCast (+9, via Limelight —
+    planted in :func:`_plant_edgio`), Google (+3, via notes), Microsoft
+    (+1, via shared favicon), Amazon (+1, via a redirect), and Cloudflare
+    (+1, via aka).  The rest are already complete in WHOIS.
+    """
+    base_sizes = {
+        "Akamai": 28, "Amazon": 30, "Apple": 6, "Facebook": 8,
+        "Google": 20, "Netflix": 5, "Yahoo!": 12, "OVH": 10,
+        "Microsoft": 25, "Twitter": 5, "Twitch": 3, "Cloudflare": 7,
+        "Booking.com": 3, "Spotify": 4,
+    }
+    offset = 300
+    for name, size in sorted(base_sizes.items()):
+        primary = HYPERGIANT_PRIMARY_ASNS[name]
+        token = (
+            name.lower().replace("!", "").replace(".com", "").replace(".", "")
+        )
+        org_id = f"gt-hg-{token}"
+        org = Org(
+            org_id=org_id,
+            name=name,
+            category=OrgCategory.CONTENT,
+            region="northam",
+            is_conglomerate=size > 6,
+            is_hypergiant=True,
+            brand_token=token,
+        )
+        main_asns = [primary] + _filler(offset, size - 1)
+        offset += size + 4
+        org.brands = [
+            _brand(org_id, "main", name, "US", "com", main_asns,
+                   host=f"www.{token}.com", favicon=token),
+        ]
+        plan._add_org(org)
+        plan.whois_group[f"{org_id}/main"] = f"W:{org_id}/main"
+        plan.pdb_group[f"{org_id}/main"] = f"P:{org_id}/main"
+
+        if name == "Google":
+            fiber = _filler(offset, 3)
+            offset += 7
+            extra = _brand(org_id, "fiber", "Google Fiber", "US", "com",
+                           fiber, host=f"fiber.{token}.net", favicon=token)
+            org.brands.append(extra)
+            plan.register.add(extra.brand_id)
+            plan.alive_hosts.add(extra.website_host)
+            plan.whois_group[extra.brand_id] = f"W:{extra.brand_id}"
+            plan.pdb_group[extra.brand_id] = f"P:{extra.brand_id}"
+            plan.notes[primary] = SynthesizedText(
+                text=(
+                    "Google Fiber is part of the same organization: "
+                    + ", ".join(f"AS{a}" for a in fiber)
+                ),
+                true_siblings=tuple(fiber),
+            )
+        elif name == "Microsoft":
+            unit = _filler(offset, 1)
+            offset += 5
+            extra = _brand(org_id, "gaming", "Microsoft Gaming", "US", "net",
+                           unit, host="www.xboxnet.net", favicon=token)
+            org.brands.append(extra)
+            plan.register.add(extra.brand_id)
+            plan.alive_hosts.add(extra.website_host)
+            plan.whois_group[extra.brand_id] = f"W:{extra.brand_id}"
+            plan.pdb_group[extra.brand_id] = f"P:{extra.brand_id}"
+        elif name == "Amazon":
+            unit = _filler(offset, 1)
+            offset += 5
+            extra = _brand(org_id, "video", "Amazon Video", "US", "tv",
+                           unit, host="www.primevideohub.tv", favicon="",
+                           acquired=True)
+            org.brands.append(extra)
+            plan.register.add(extra.brand_id)
+            plan.alive_hosts.add(extra.website_host)
+            plan.whois_group[extra.brand_id] = f"W:{extra.brand_id}"
+            plan.pdb_group[extra.brand_id] = f"P:{extra.brand_id}"
+            plan.redirects["www.primevideohub.tv"] = (
+                f"https://www.{token}.com/", RedirectKind.META_REFRESH
+            )
+        elif name == "Cloudflare":
+            unit = _filler(offset, 1)
+            offset += 5
+            extra = _brand(org_id, "area1", "Area 1 Security", "US", "com",
+                           unit, host="www.area1sec.com", favicon="area1")
+            org.brands.append(extra)
+            plan.register.add(extra.brand_id)
+            plan.alive_hosts.add(extra.website_host)
+            plan.whois_group[extra.brand_id] = f"W:{extra.brand_id}"
+            plan.pdb_group[extra.brand_id] = f"P:{extra.brand_id}"
+            plan.aka[unit[0]] = SynthesizedText(
+                text=f"Area 1 Security, now Cloudflare AS{primary}",
+                true_siblings=(primary,),
+            )

@@ -1,0 +1,189 @@
+"""Ground-truth entities of the synthetic Internet.
+
+An :class:`Org` is the *real-world* organization (what Borges is trying
+to recover).  Each org owns one or more :class:`Brand` units — branded,
+usually per-country subsidiaries — and each brand unit operates one or
+more ASNs.  Registries only ever see brand-level records; the org level
+is the truth the mapping systems approximate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from ..errors import DataError
+from ..types import ASN, Cluster, CountryCode
+
+
+class OrgCategory(enum.Enum):
+    """Business category, driving §6's access/transit/content analyses."""
+
+    ACCESS = "access"
+    TRANSIT = "transit"
+    CONTENT = "content"
+    ENTERPRISE = "enterprise"
+
+
+@dataclass
+class Brand:
+    """A branded subsidiary: one operating unit of an organization.
+
+    ``website_host`` is the brand's landing page host (e.g.
+    ``www.vega.com.br``); ``favicon_brand`` is the logo identity its site
+    serves (shared across an org when branding is unified).
+    """
+
+    brand_id: str
+    name: str
+    org_id: str
+    country: CountryCode
+    cctld: str
+    asns: List[ASN] = field(default_factory=list)
+    website_host: str = ""
+    favicon_brand: str = ""
+    #: Brand acquired in an M&A event (its site may redirect to parent).
+    acquired: bool = False
+    #: Language its operators write PDB notes in.
+    language: str = "en"
+
+    @property
+    def primary_asn(self) -> ASN:
+        if not self.asns:
+            raise DataError(f"brand {self.brand_id} has no ASNs")
+        return min(self.asns)
+
+    @property
+    def website_url(self) -> str:
+        return f"https://{self.website_host}/" if self.website_host else ""
+
+
+@dataclass
+class Org:
+    """A ground-truth organization: the unit θ should recover."""
+
+    org_id: str
+    name: str
+    category: OrgCategory
+    region: str
+    brands: List[Brand] = field(default_factory=list)
+    is_conglomerate: bool = False
+    is_hypergiant: bool = False
+    #: Brand token subsidiaries share in domains, when branding is unified.
+    brand_token: str = ""
+
+    @property
+    def asns(self) -> List[ASN]:
+        result: List[ASN] = []
+        for brand in self.brands:
+            result.extend(brand.asns)
+        return sorted(result)
+
+    @property
+    def countries(self) -> Set[CountryCode]:
+        return {b.country for b in self.brands}
+
+    @property
+    def size(self) -> int:
+        return len(self.asns)
+
+    def brand_of(self, asn: ASN) -> Brand:
+        for brand in self.brands:
+            if asn in brand.asns:
+                return brand
+        raise DataError(f"AS{asn} not in org {self.org_id}")
+
+
+@dataclass
+class GroundTruth:
+    """The complete true state: all orgs, indexed every useful way."""
+
+    orgs: Dict[str, Org] = field(default_factory=dict)
+
+    def add(self, org: Org) -> Org:
+        if org.org_id in self.orgs:
+            raise DataError(f"duplicate org_id {org.org_id}")
+        self.orgs[org.org_id] = org
+        return org
+
+    def __len__(self) -> int:
+        return len(self.orgs)
+
+    def all_orgs(self) -> Iterator[Org]:
+        for org_id in sorted(self.orgs):
+            yield self.orgs[org_id]
+
+    def all_brands(self) -> Iterator[Brand]:
+        for org in self.all_orgs():
+            for brand in org.brands:
+                yield brand
+
+    def all_asns(self) -> List[ASN]:
+        result: List[ASN] = []
+        for org in self.all_orgs():
+            result.extend(org.asns)
+        return sorted(result)
+
+    def org_of_asn(self, asn: ASN) -> Org:
+        index = self._asn_index()
+        try:
+            return self.orgs[index[asn]]
+        except KeyError:
+            raise DataError(f"AS{asn} belongs to no ground-truth org") from None
+
+    def brand_of_asn(self, asn: ASN) -> Brand:
+        return self.org_of_asn(asn).brand_of(asn)
+
+    def true_clusters(self) -> List[Cluster]:
+        """The ground-truth partition of all ASNs by real organization."""
+        return [frozenset(org.asns) for org in self.all_orgs() if org.asns]
+
+    def true_siblings(self, asn: ASN) -> FrozenSet[ASN]:
+        return frozenset(self.org_of_asn(asn).asns)
+
+    def are_siblings(self, a: ASN, b: ASN) -> bool:
+        index = self._asn_index()
+        return a in index and b in index and index[a] == index[b]
+
+    def conglomerates(self) -> List[Org]:
+        return [o for o in self.all_orgs() if o.is_conglomerate]
+
+    def hypergiants(self) -> List[Org]:
+        return [o for o in self.all_orgs() if o.is_hypergiant]
+
+    def by_category(self, category: OrgCategory) -> List[Org]:
+        return [o for o in self.all_orgs() if o.category is category]
+
+    def stats(self) -> Dict[str, float]:
+        orgs = list(self.all_orgs())
+        sizes = [o.size for o in orgs if o.size]
+        return {
+            "orgs": float(len(orgs)),
+            "asns": float(sum(sizes)),
+            "conglomerates": float(sum(1 for o in orgs if o.is_conglomerate)),
+            "hypergiants": float(sum(1 for o in orgs if o.is_hypergiant)),
+            "mean_asns_per_org": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "max_asns_per_org": float(max(sizes)) if sizes else 0.0,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    _asn_cache: Optional[Dict[ASN, str]] = None
+
+    def _asn_index(self) -> Dict[ASN, str]:
+        if self._asn_cache is None:
+            index: Dict[ASN, str] = {}
+            for org in self.all_orgs():
+                for asn in org.asns:
+                    if asn in index:
+                        raise DataError(
+                            f"AS{asn} owned by both {index[asn]} and {org.org_id}"
+                        )
+                    index[asn] = org.org_id
+            self._asn_cache = index
+        return self._asn_cache
+
+    def invalidate_index(self) -> None:
+        """Call after mutating orgs/brands post-construction."""
+        self._asn_cache = None

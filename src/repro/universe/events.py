@@ -1,0 +1,80 @@
+"""Mergers, acquisitions, rebrandings — the dynamics of Figure 1.
+
+The generator applies these events to the ground truth *before*
+exporting registry views, so the exports show the inconsistencies the
+paper motivates: an acquired brand keeps its own WHOIS org, its old
+website starts redirecting to the acquirer, PeeringDB may or may not be
+updated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class EventKind(enum.Enum):
+    """What happened between two organizations/brands."""
+
+    ACQUISITION = "acquisition"   # org A absorbs org B (B becomes brand of A)
+    MERGER = "merger"             # symmetric combination; survivor keeps id
+    REBRAND = "rebrand"           # brand changes name/domain, old one redirects
+    SPINOFF = "spinoff"           # brand leaves org and becomes its own org
+
+
+@dataclass(frozen=True)
+class MnAEvent:
+    """One corporate event, in timeline order.
+
+    ``year`` orders multi-step histories (the Level3 → CenturyLink →
+    Lumen chain); redirect chains follow the order of events, so a brand
+    acquired twice redirects through its intermediate owner.
+    """
+
+    kind: EventKind
+    year: int
+    #: Acquirer / surviving org id.
+    subject_org: str
+    #: Acquired org id (ACQUISITION/MERGER) or brand id (REBRAND/SPINOFF).
+    object_id: str
+    #: New name after a REBRAND; empty otherwise.
+    new_name: str = ""
+
+    def describe(self) -> str:
+        if self.kind is EventKind.ACQUISITION:
+            return f"{self.year}: {self.subject_org} acquires {self.object_id}"
+        if self.kind is EventKind.MERGER:
+            return f"{self.year}: {self.subject_org} merges with {self.object_id}"
+        if self.kind is EventKind.REBRAND:
+            return (
+                f"{self.year}: {self.object_id} rebrands as "
+                f"{self.new_name or '?'} under {self.subject_org}"
+            )
+        return f"{self.year}: {self.subject_org} spins off {self.object_id}"
+
+
+@dataclass
+class Timeline:
+    """An ordered corporate history for the whole universe."""
+
+    events: List[MnAEvent]
+
+    def __iter__(self):
+        return iter(sorted(self.events, key=lambda e: (e.year, e.subject_org)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def involving(self, org_id: str) -> List[MnAEvent]:
+        return [
+            e for e in self
+            if e.subject_org == org_id or e.object_id == org_id
+        ]
+
+    def acquisitions_into(self, org_id: str) -> List[MnAEvent]:
+        return [
+            e for e in self
+            if e.subject_org == org_id
+            and e.kind in (EventKind.ACQUISITION, EventKind.MERGER)
+        ]

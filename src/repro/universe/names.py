@@ -1,0 +1,201 @@
+"""Name corpora for the synthetic universe.
+
+Deterministic word lists used to mint company names, brand tokens and
+hostnames.  All names are invented (no real trademarks) except for the
+handful of *canonical scenarios* the paper narrates (Lumen/CenturyLink,
+Deutsche Telekom, Edgecast/Limelight, Clearwire, Claro...), which
+:mod:`repro.universe.canonical` plants explicitly for tests and examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+#: Name stems combined into company names: "<stem> <suffix>".
+COMPANY_STEMS: Tuple[str, ...] = (
+    "Andes", "Aurora", "Baltic", "Borealis", "Caracol", "Cedro", "Colibri",
+    "Condor", "Corsair", "Cumbre", "Delta", "Dorado", "Ecuator", "Ember",
+    "Fjord", "Gaucho", "Glacial", "Harbor", "Horizonte", "Iberia", "Jacaranda",
+    "Kodiak", "Lumina", "Magna", "Meridian", "Mistral", "Nevada", "Nimbus",
+    "Oceana", "Pampa", "Pinnacle", "Quasar", "Riviera", "Sable", "Sierra",
+    "Solaris", "Tundra", "Umbra", "Vertex", "Vortex", "Yunque", "Zephyr",
+    "Altiplano", "Basalt", "Cardinal", "Drift", "Estuary", "Falcon", "Granite",
+    "Helix", "Itaca", "Juniper", "Krill", "Lagoon", "Mangrove", "Nectar",
+    "Onyx", "Prisma", "Quartz", "Reef", "Sequoia", "Talus", "Ultramar",
+    "Vega", "Willow", "Xenon", "Ypsilon", "Zenith", "Arrecife", "Bruma",
+)
+
+#: Suffixes by organization category.
+ACCESS_SUFFIXES: Tuple[str, ...] = (
+    "Telecom", "Cable", "Fibra", "Broadband", "Net", "Wireless", "Movil",
+    "Internet", "Comunicaciones", "Telekom", "Connect",
+)
+TRANSIT_SUFFIXES: Tuple[str, ...] = (
+    "Carrier", "Backbone", "Transit", "Networks", "Global", "IP Services",
+)
+CONTENT_SUFFIXES: Tuple[str, ...] = (
+    "Cloud", "CDN", "Media", "Hosting", "Platforms", "Streams", "Compute",
+)
+
+#: Regions with member countries and the ccTLDs their sites use.
+REGIONS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "latam": (
+        ("AR", "com.ar"), ("BR", "com.br"), ("CL", "cl"), ("CO", "com.co"),
+        ("PE", "com.pe"), ("MX", "com.mx"), ("UY", "com.uy"), ("PY", "com.py"),
+        ("EC", "com.ec"), ("BO", "com.bo"), ("DO", "com.do"), ("PR", "pr"),
+        ("GT", "com.gt"), ("PA", "com.pa"), ("CR", "cr"), ("HN", "com.hn"),
+    ),
+    "europe": (
+        ("DE", "de"), ("FR", "fr"), ("ES", "es"), ("IT", "it"), ("PL", "pl"),
+        ("NL", "nl"), ("GB", "co.uk"), ("PT", "pt"), ("AT", "at"), ("CH", "ch"),
+        ("SE", "se"), ("NO", "no"), ("CZ", "cz"), ("SK", "sk"), ("HR", "hr"),
+        ("RO", "ro"), ("HU", "hu"), ("GR", "gr"),
+    ),
+    "apac": (
+        ("JP", "co.jp"), ("KR", "co.kr"), ("TW", "com.tw"), ("SG", "com.sg"),
+        ("MY", "com.my"), ("ID", "co.id"), ("PH", "com.ph"), ("VN", "com.vn"),
+        ("AU", "com.au"), ("NZ", "co.nz"), ("IN", "co.in"), ("TH", "th"),
+        ("HK", "com.hk"), ("BD", "com.bd"), ("LK", "com.lk"),
+    ),
+    "northam": (("US", "com"), ("CA", "ca")),
+    "africa": (
+        ("ZA", "co.za"), ("NG", "com.ng"), ("KE", "co.ke"), ("EG", "com.eg"),
+        ("TZ", "co.tz"), ("GH", "com"), ("SN", "sn"), ("MA", "ma"),
+    ),
+    "mideast": (
+        ("TR", "com.tr"), ("SA", "com.sa"), ("AE", "ae"), ("IL", "co.il"),
+        ("JO", "jo"), ("QA", "qa"),
+    ),
+    "caribbean": (
+        ("JM", "com"), ("TT", "tt"), ("BB", "bb"), ("HT", "ht"), ("BS", "bs"),
+        ("GY", "gy"), ("SR", "sr"), ("LC", "lc"), ("VC", "vc"), ("GD", "gd"),
+        ("AG", "ag"), ("DM", "dm"), ("KN", "kn"), ("AW", "aw"), ("CW", "cw"),
+        ("BM", "bm"), ("KY", "ky"), ("TC", "tc"), ("VG", "vg"), ("AI", "ai"),
+        ("MS", "ms"), ("BZ", "bz"), ("FJ", "com"), ("PG", "com"), ("VU", "com"),
+    ),
+}
+
+ALL_REGIONS: Tuple[str, ...] = tuple(sorted(REGIONS))
+
+#: Mainstream platforms small operators point their PDB website at
+#: (the blocklists of Appendix D target exactly these).
+PLATFORM_HOSTS: Tuple[str, ...] = (
+    "www.facebook.com",
+    "github.com",
+    "www.linkedin.com",
+    "discord.com",
+    "www.instagram.com",
+    "bgp.tools",
+    "www.peeringdb.com",
+)
+
+#: Languages notes can be written in, with region affinities.
+REGION_LANGUAGES: Dict[str, Tuple[str, ...]] = {
+    "latam": ("es", "pt"),
+    "europe": ("en", "de", "fr", "es"),
+    "apac": ("en", "id"),
+    "northam": ("en",),
+    "africa": ("en", "fr"),
+    "mideast": ("en",),
+    "caribbean": ("en", "es"),
+}
+
+
+class NameForge:
+    """Mints unique, deterministic names from the corpora.
+
+    A dedicated ``random.Random`` keeps name assignment independent of
+    other generator draws, so adding an unrelated feature never reshuffles
+    every company name.
+    """
+
+    #: Tokens that random orgs must never receive: canonical scenarios'
+    #: brands and framework/platform identities live in these namespaces.
+    RESERVED_TOKENS = frozenset(
+        {
+            "lumen", "centurylink", "telekom", "claro", "orange", "digicel",
+            "tigo", "telkomid", "edgio", "latitude", "sprint", "clearwire",
+            "facebook", "github", "linkedin", "discord", "instagram",
+            "peeringdb", "bgp", "bootstrap", "wordpress", "godaddy",
+            "ixcsoft", "wix", "akamai", "amazon", "apple", "google",
+            "netflix", "yahoo", "ovh", "microsoft", "twitter", "twitch",
+            "cloudflare", "booking", "spotify", "area1",
+        }
+    )
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(("names", seed).__repr__())
+        self._used: set = set()
+        self._used_tokens: set = set(self.RESERVED_TOKENS)
+
+    def company_name(self, category: str) -> str:
+        """A unique company name appropriate for *category*."""
+        suffixes = {
+            "access": ACCESS_SUFFIXES,
+            "transit": TRANSIT_SUFFIXES,
+            "content": CONTENT_SUFFIXES,
+        }.get(category, ACCESS_SUFFIXES)
+        for _ in range(10_000):
+            stem = self._rng.choice(COMPANY_STEMS)
+            suffix = self._rng.choice(suffixes)
+            name = f"{stem} {suffix}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+            # Disambiguate deterministically once the simple space fills.
+            numbered = f"{name} {self._rng.randint(2, 9999)}"
+            if numbered not in self._used:
+                self._used.add(numbered)
+                return numbered
+        raise RuntimeError("name corpus exhausted")
+
+    def brand_token(self, company_name: str) -> str:
+        """A unique DNS-safe brand token: "Vega Cable" → ``vega``.
+
+        Brand tokens are what subsidiaries share in their domains
+        (www.<brand>.<cctld>), mirroring the paper's orange.es/orange.pl.
+        Tokens are globally unique — two real companies do not share a
+        registrable brand — so hostname and favicon identities never
+        collide across unrelated organizations.
+        """
+        words = [
+            "".join(ch for ch in w.lower() if ch.isalnum())
+            for w in company_name.split()
+        ]
+        words = [w for w in words if w]
+        if not words:
+            words = ["brand"]
+        candidates = [words[0], "".join(words[:2]), "".join(words)]
+        for candidate in candidates:
+            if candidate and candidate not in self._used_tokens:
+                self._used_tokens.add(candidate)
+                return candidate
+        base = candidates[-1] or "brand"
+        for i in range(2, 100_000):
+            candidate = f"{base}{i}"
+            if candidate not in self._used_tokens:
+                self._used_tokens.add(candidate)
+                return candidate
+        raise RuntimeError("brand token space exhausted")
+
+    def pick_region(self) -> str:
+        return self._rng.choice(ALL_REGIONS)
+
+    def pick_countries(self, region: str, count: int) -> List[Tuple[str, str]]:
+        """Pick *count* (country, cctld) pairs, spilling into neighbours."""
+        pool = list(REGIONS[region])
+        self._rng.shuffle(pool)
+        picked = pool[:count]
+        if len(picked) < count:
+            others = [c for r in ALL_REGIONS if r != region for c in REGIONS[r]]
+            self._rng.shuffle(others)
+            for pair in others:
+                if len(picked) >= count:
+                    break
+                if pair not in picked:
+                    picked.append(pair)
+        return picked[:count]
+
+    def language_for(self, region: str) -> str:
+        return self._rng.choice(REGION_LANGUAGES.get(region, ("en",)))

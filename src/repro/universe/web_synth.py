@@ -1,0 +1,122 @@
+"""Build the simulated web from ground truth + corporate history.
+
+Every brand's landing page, every post-merger redirect chain, every
+framework-default favicon and dead host is planted here, so the scraper
+discovers them the way the paper's Selenium crawl discovered the real
+ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..config import UniverseConfig
+from ..logutil import get_logger
+from ..web.http import RedirectKind
+from ..web.simweb import SimulatedWeb, Site, make_favicon
+from .entities import Brand, GroundTruth, Org
+from .events import Timeline
+
+_LOG = get_logger("universe.web_synth")
+
+_REDIRECT_KINDS = (
+    RedirectKind.HTTP_301,
+    RedirectKind.HTTP_302,
+    RedirectKind.META_REFRESH,
+    RedirectKind.JAVASCRIPT,
+)
+
+
+def build_web(
+    ground_truth: GroundTruth,
+    timeline: Timeline,
+    config: UniverseConfig,
+    seed: int,
+) -> SimulatedWeb:
+    """Instantiate the whole simulated web for one universe."""
+    rng = random.Random(("web", seed).__repr__())
+    web = SimulatedWeb()
+    for org in ground_truth.all_orgs():
+        _plant_org_sites(web, org, rng, config)
+    _plant_redirect_chains(web, ground_truth, timeline, rng, config)
+    _LOG.debug("web built: %s", web.stats())
+    return web
+
+
+def _plant_org_sites(
+    web: SimulatedWeb, org: Org, rng: random.Random, config: UniverseConfig
+) -> None:
+    """Landing pages and favicons for every brand of one org."""
+    for brand in org.brands:
+        if not brand.website_host or brand.website_host in web:
+            continue
+        alive = rng.random() >= config.dead_site_rate
+        web.add_site(
+            Site(
+                host=brand.website_host,
+                title=brand.name,
+                favicon=(
+                    make_favicon(brand.favicon_brand)
+                    if brand.favicon_brand
+                    else b""
+                ),
+                alive=alive,
+            )
+        )
+
+
+def _plant_redirect_chains(
+    web: SimulatedWeb,
+    ground_truth: GroundTruth,
+    timeline: Timeline,
+    rng: random.Random,
+    config: UniverseConfig,
+) -> None:
+    """Turn acquired brands' sites into redirects toward the parent.
+
+    Acquisition order matters: a brand acquired in year Y redirects to
+    whatever the acquirer's flagship site was — which may itself have
+    become a redirect after a later event, producing multi-hop chains
+    (the Clearwire → Sprint → T-Mobile pattern).
+    """
+    from .entities import OrgCategory
+
+    for org in ground_truth.all_orgs():
+        flagship = _flagship_brand(org)
+        if flagship is None:
+            continue
+        # Carriers consolidate their web presence aggressively after
+        # acquisitions (the Level3 → CenturyLink → Lumen pattern).
+        redirect_rate = config.merger_redirect_rate
+        if org.category is OrgCategory.TRANSIT:
+            redirect_rate = min(0.9, redirect_rate * 2.2)
+        for brand in org.brands:
+            if brand is flagship or not brand.acquired:
+                continue
+            if not brand.website_host or not flagship.website_host:
+                continue
+            if rng.random() >= redirect_rate:
+                continue
+            site = web.site_for(brand.website_url)
+            if site is None or not site.alive:
+                continue
+            if site.redirect_kind != RedirectKind.NONE:
+                continue  # already part of a chain
+            site.redirect_kind = rng.choice(_REDIRECT_KINDS)
+            site.redirect_target = flagship.website_url
+    # Multi-hop chains from explicit timeline chains (A acquired B which
+    # had acquired C): C's site already points at B's, and B's now points
+    # at A's — nothing more to do, chains compose naturally.
+    _ = timeline  # order is encoded in Brand.acquired + flagship choice
+
+
+def _flagship_brand(org: Org) -> Optional[Brand]:
+    """The brand whose site the others redirect to (the current identity)."""
+    candidates = [b for b in org.brands if b.website_host and not b.acquired]
+    if not candidates:
+        candidates = [b for b in org.brands if b.website_host]
+    if not candidates:
+        return None
+    # Deterministic: the lowest-ASN non-acquired brand is the flagship.
+    return min(candidates, key=lambda b: b.primary_asn)

@@ -1,0 +1,65 @@
+"""The manually curated blocklists of Appendix D.
+
+Two lists, used at different stages:
+
+* :data:`SUBDOMAIN_BLOCKLIST` (Table 10) — brand tokens excluded when the
+  favicon decision tree compares "subdomains" (§4.3.3 step 1).
+* :data:`FINAL_URL_BLOCKLIST` (Table 11) — registrable domains excluded
+  from final-URL matching (§4.3.2): mainstream platforms small operators
+  point their PDB ``website`` at.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from .url import brand_label, registrable_domain
+
+#: Appendix D.1, Table 10 — blocked brand tokens for subdomain comparison.
+SUBDOMAIN_BLOCKLIST: FrozenSet[str] = frozenset(
+    {
+        "myspace",
+        "github",
+        "he",
+        "facebook",
+        "instagram",
+        "linkedin",
+        "bgp",  # bgp.tools
+        "oracle",
+        "discord",
+        "peeringdb",
+    }
+)
+
+#: Appendix D.2, Table 11 — blocked registrable domains for final-URL
+#: matching.
+FINAL_URL_BLOCKLIST: FrozenSet[str] = frozenset(
+    {
+        "example.com",
+        "github.com",
+        "linkedin.com",
+        "facebook.com",
+        "discord.com",
+        # The universe generator also plants these platform hosts, which
+        # fall under the same "mainstream communication channel" rule:
+        "instagram.com",
+        "peeringdb.com",
+        "bgp.tools",
+    }
+)
+
+
+def is_blocked_final_url(url: str) -> bool:
+    """True if *url*'s registrable domain is on the final-URL blocklist."""
+    try:
+        return registrable_domain(url) in FINAL_URL_BLOCKLIST
+    except Exception:
+        return True  # unparsable URLs are never grouping evidence
+
+
+def is_blocked_brand(url: str) -> bool:
+    """True if *url*'s brand token is on the subdomain blocklist."""
+    try:
+        return brand_label(url) in SUBDOMAIN_BLOCKLIST
+    except Exception:
+        return True

@@ -1,0 +1,126 @@
+"""Simulated HTTP semantics.
+
+The scraper needs the behaviours a headless browser observes in the wild:
+HTTP 30x ``Location`` redirects, HTML ``<meta http-equiv="refresh">``
+refreshes, and JavaScript ``window.location`` rewrites.  The paper groups
+all three under "refreshes and redirects" (R&R); we model each so the
+ablation "plain HTTP client vs headless browser" is meaningful (a plain
+client follows only 30x, a browser follows all three).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class RedirectKind(enum.Enum):
+    """How a page sends the visitor elsewhere."""
+
+    NONE = "none"
+    HTTP_301 = "http_301"
+    HTTP_302 = "http_302"
+    META_REFRESH = "meta_refresh"
+    JAVASCRIPT = "javascript"
+
+    @property
+    def is_http(self) -> bool:
+        return self in (RedirectKind.HTTP_301, RedirectKind.HTTP_302)
+
+    @property
+    def needs_browser(self) -> bool:
+        """True when only a rendering browser would follow it."""
+        return self in (RedirectKind.META_REFRESH, RedirectKind.JAVASCRIPT)
+
+
+_META_REFRESH_RE = re.compile(
+    r"<meta[^>]+http-equiv=[\"']refresh[\"'][^>]+content=[\"']\s*\d+\s*;\s*"
+    r"url=([^\"'>\s]+)",
+    re.IGNORECASE,
+)
+_JS_LOCATION_RE = re.compile(
+    r"window\.location(?:\.href)?\s*=\s*[\"']([^\"']+)[\"']",
+    re.IGNORECASE,
+)
+
+
+@dataclass
+class HTTPResponse:
+    """One simulated HTTP exchange."""
+
+    url: str
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307, 308)
+
+    @property
+    def location(self) -> Optional[str]:
+        if not self.is_redirect:
+            return None
+        return self.headers.get("Location") or self.headers.get("location")
+
+    def meta_refresh_target(self) -> Optional[str]:
+        """Target of an HTML meta-refresh in the body, if any."""
+        match = _META_REFRESH_RE.search(self.body)
+        return match.group(1) if match else None
+
+    def javascript_target(self) -> Optional[str]:
+        """Target of a JS ``window.location`` rewrite in the body, if any."""
+        match = _JS_LOCATION_RE.search(self.body)
+        return match.group(1) if match else None
+
+    def browser_redirect_target(self) -> Optional[str]:
+        """Any client-side redirect a rendering browser would follow."""
+        return self.meta_refresh_target() or self.javascript_target()
+
+
+def render_redirect_body(kind: RedirectKind, target: str, title: str = "") -> str:
+    """Produce the HTML body a site with a client-side redirect serves."""
+    if kind == RedirectKind.META_REFRESH:
+        return (
+            "<html><head>"
+            f"<title>{title}</title>"
+            f'<meta http-equiv="refresh" content="0; url={target}">'
+            "</head><body>Redirecting...</body></html>"
+        )
+    if kind == RedirectKind.JAVASCRIPT:
+        return (
+            "<html><head>"
+            f"<title>{title}</title>"
+            f'<script>window.location.href = "{target}";</script>'
+            "</head><body>Loading...</body></html>"
+        )
+    raise ValueError(f"{kind} is not a client-side redirect")
+
+
+def render_page_body(title: str, favicon_path: str = "/favicon.ico") -> str:
+    """Produce a plain landing-page body with a favicon link."""
+    return (
+        "<html><head>"
+        f"<title>{title}</title>"
+        f'<link rel="icon" href="{favicon_path}">'
+        f"</head><body><h1>{title}</h1></body></html>"
+    )
+
+
+def make_redirect_response(url: str, kind: RedirectKind, target: str) -> HTTPResponse:
+    """Build the :class:`HTTPResponse` a redirecting site serves."""
+    if kind == RedirectKind.HTTP_301:
+        return HTTPResponse(url=url, status=301, headers={"Location": target})
+    if kind == RedirectKind.HTTP_302:
+        return HTTPResponse(url=url, status=302, headers={"Location": target})
+    if kind.needs_browser:
+        return HTTPResponse(
+            url=url, status=200, body=render_redirect_body(kind, target)
+        )
+    raise ValueError(f"{kind} does not describe a redirect")

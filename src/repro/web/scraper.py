@@ -1,0 +1,176 @@
+"""Headless-browser analogue: resolve final URLs through R&R chains.
+
+This is the reproduction of §4.3.1's Selenium component.  Given a URL,
+:class:`HeadlessScraper` follows HTTP 30x redirects and — because a real
+headless browser renders pages — meta-refresh and JavaScript redirects,
+until it reaches a stable final URL.  A plain HTTP client (``browser
+=False``) follows only the 30x hops, which is what the R&R ablation
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import ScraperConfig
+from ..errors import FetchError, URLError
+from ..logutil import get_logger
+from .http import HTTPResponse
+from .simweb import SimulatedWeb
+from .url import normalize_url, parse_url
+
+_LOG = get_logger("web.scraper")
+
+
+@dataclass(frozen=True)
+class ScrapeResult:
+    """Outcome of resolving one PeeringDB website URL."""
+
+    requested_url: str
+    final_url: Optional[str]
+    chain: Tuple[str, ...]
+    ok: bool
+    error: str = ""
+
+    @property
+    def hops(self) -> int:
+        """Number of redirect hops taken (0 = landed directly)."""
+        return max(0, len(self.chain) - 1)
+
+    @property
+    def redirected(self) -> bool:
+        return self.hops > 0
+
+
+class HeadlessScraper:
+    """Resolves URLs against a :class:`SimulatedWeb` (or compatible driver).
+
+    The driver only needs a ``fetch(url) -> HTTPResponse`` method, so a
+    real HTTP client can be substituted without touching Borges.
+    """
+
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        config: Optional[ScraperConfig] = None,
+        browser: bool = True,
+    ) -> None:
+        self._web = web
+        self._config = (config or ScraperConfig()).validate()
+        self._browser = browser
+        self._cache: Dict[str, ScrapeResult] = {}
+
+    @property
+    def browser_mode(self) -> bool:
+        return self._browser
+
+    def resolve(self, url: str) -> ScrapeResult:
+        """Follow *url* to its final destination.
+
+        Never raises for web-level failures; the result's ``ok`` flag and
+        ``error`` string report dead hosts, loops and bad URLs — matching
+        the paper's accounting of unreachable PDB websites.
+        """
+        try:
+            start = normalize_url(url)
+        except URLError as exc:
+            return ScrapeResult(
+                requested_url=url, final_url=None, chain=(), ok=False,
+                error=f"bad url: {exc.reason}",
+            )
+        if start in self._cache:
+            return self._cache[start]
+        result = self._resolve_chain(start)
+        self._cache[start] = result
+        return result
+
+    def _resolve_chain(self, start: str) -> ScrapeResult:
+        chain: List[str] = [start]
+        seen = {start}
+        current = start
+        for _hop in range(self._config.max_redirect_hops):
+            try:
+                response = self._web.fetch(current)
+            except FetchError as exc:
+                return ScrapeResult(
+                    requested_url=start, final_url=None,
+                    chain=tuple(chain), ok=False, error=exc.reason,
+                )
+            target = self._next_target(response)
+            if target is None:
+                return ScrapeResult(
+                    requested_url=start, final_url=current,
+                    chain=tuple(chain), ok=True,
+                )
+            try:
+                target = self._absolutize(current, target)
+            except URLError as exc:
+                return ScrapeResult(
+                    requested_url=start, final_url=None,
+                    chain=tuple(chain), ok=False,
+                    error=f"bad redirect target: {exc.reason}",
+                )
+            if target in seen:
+                return ScrapeResult(
+                    requested_url=start, final_url=None,
+                    chain=tuple(chain) + (target,), ok=False,
+                    error="redirect loop",
+                )
+            seen.add(target)
+            chain.append(target)
+            current = target
+        return ScrapeResult(
+            requested_url=start, final_url=None, chain=tuple(chain),
+            ok=False,
+            error=f"redirect chain exceeded {self._config.max_redirect_hops} hops",
+        )
+
+    def _next_target(self, response: HTTPResponse) -> Optional[str]:
+        """Where the browser goes next, or ``None`` if the page is final."""
+        if response.is_redirect:
+            return response.location
+        if not response.ok:
+            return None
+        if not self._browser:
+            return None
+        if self._config.follow_meta_refresh:
+            target = response.meta_refresh_target()
+            if target:
+                return target
+        if self._config.execute_javascript:
+            target = response.javascript_target()
+            if target:
+                return target
+        return None
+
+    @staticmethod
+    def _absolutize(base: str, target: str) -> str:
+        """Resolve a possibly-relative redirect target against *base*."""
+        if "://" in target:
+            return normalize_url(target)
+        if target.startswith("/"):
+            parsed = parse_url(base)
+            return normalize_url(f"{parsed.scheme}://{parsed.host}{target}")
+        # Bare-host targets ("www.example.com") occur in sloppy headers.
+        return normalize_url(target)
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def resolve_many(self, urls: Iterable[str]) -> Dict[str, ScrapeResult]:
+        """Resolve many URLs; keyed by the *raw* input string."""
+        results: Dict[str, ScrapeResult] = {}
+        for raw in urls:
+            results[raw] = self.resolve(raw)
+        return results
+
+    def stats(self) -> Dict[str, int]:
+        resolved = list(self._cache.values())
+        return {
+            "resolved": len(resolved),
+            "reachable": sum(1 for r in resolved if r.ok),
+            "redirected": sum(1 for r in resolved if r.ok and r.redirected),
+            "unique_final_urls": len(
+                {r.final_url for r in resolved if r.final_url}
+            ),
+        }

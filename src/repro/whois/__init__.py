@@ -1,0 +1,20 @@
+"""WHOIS substrate: RIR delegations and the CAIDA ``as2org`` file format.
+
+WHOIS is the compulsory database: every allocated ASN has exactly one
+WHOIS organization (``OID_W``).  CAIDA's AS2Org dataset is derived from
+these records; :mod:`repro.whois.as2org_file` reads/writes its JSON-lines
+format so the baseline is exercised through the same file format CAIDA
+publishes.
+"""
+
+from .models import ASNDelegation, WhoisOrg
+from .dataset import WhoisDataset
+from .as2org_file import load_as2org_file, save_as2org_file
+
+__all__ = [
+    "ASNDelegation",
+    "WhoisOrg",
+    "WhoisDataset",
+    "load_as2org_file",
+    "save_as2org_file",
+]

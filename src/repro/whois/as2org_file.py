@@ -1,0 +1,72 @@
+"""Reader/writer for CAIDA's AS2Org JSON-lines file format.
+
+CAIDA publishes AS2Org as a text file of JSON records, one per line, of
+two types distinguished by a ``type`` field::
+
+    {"type": "Organization", "organizationId": "...", "name": "...", ...}
+    {"type": "ASN", "asn": "3356", "organizationId": "...", ...}
+
+We reproduce that layout (including string-typed ASNs) so the pipeline
+reads the same wire format the real system would.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..errors import SchemaError, SnapshotError
+from .dataset import WhoisDataset
+from .models import ASNDelegation, WhoisOrg
+
+
+def save_as2org_file(dataset: WhoisDataset, path: Union[str, Path]) -> None:
+    """Write *dataset* in CAIDA's JSON-lines format (gzip if ``.gz``)."""
+    path = Path(path)
+    lines: List[str] = []
+    for org_id in sorted(dataset.orgs):
+        lines.append(json.dumps(dataset.orgs[org_id].to_json(), ensure_ascii=False))
+    for asn in sorted(dataset.delegations):
+        lines.append(
+            json.dumps(dataset.delegations[asn].to_json(), ensure_ascii=False)
+        )
+    payload = "\n".join(lines) + "\n"
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_as2org_file(path: Union[str, Path]) -> WhoisDataset:
+    """Load a CAIDA-format AS2Org file into a :class:`WhoisDataset`."""
+    path = Path(path)
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                text = fh.read()
+        else:
+            text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SnapshotError(f"cannot read as2org file {path}: {exc}") from exc
+
+    orgs: List[WhoisOrg] = []
+    delegations: List[ASNDelegation] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+        kind = record.get("type")
+        if kind == "Organization":
+            orgs.append(WhoisOrg.from_json(record))
+        elif kind == "ASN":
+            delegations.append(ASNDelegation.from_json(record))
+        else:
+            raise SchemaError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return WhoisDataset.build(orgs, delegations)

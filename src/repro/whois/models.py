@@ -1,0 +1,99 @@
+"""WHOIS data objects: organizations and ASN delegations.
+
+The model follows the shape of CAIDA's AS2Org inputs: an ``organization``
+record keyed by ``org_id`` (a registry handle such as ``"LEVEL3-ARIN"``)
+and an ``asn`` record linking each allocated ASN to exactly one org.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..errors import SchemaError
+from ..types import ASN, CountryCode, WhoisOrgID, is_valid_asn
+
+#: The five Regional Internet Registries.
+RIRS = ("arin", "ripencc", "apnic", "lacnic", "afrinic")
+
+
+@dataclass(frozen=True)
+class WhoisOrg:
+    """A WHOIS organization record (the legal/contractual entity)."""
+
+    org_id: WhoisOrgID
+    name: str
+    country: CountryCode = ""
+    source: str = "arin"
+
+    def validate(self) -> "WhoisOrg":
+        if not self.org_id:
+            raise SchemaError("WHOIS org with empty org_id")
+        if not self.name:
+            raise SchemaError(f"WHOIS org {self.org_id}: empty name")
+        if self.source not in RIRS:
+            raise SchemaError(
+                f"WHOIS org {self.org_id}: unknown RIR {self.source!r}"
+            )
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "Organization",
+            "organizationId": self.org_id,
+            "name": self.name,
+            "country": self.country,
+            "source": self.source.upper(),
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "WhoisOrg":
+        try:
+            return cls(
+                org_id=str(record["organizationId"]),
+                name=str(record["name"]),
+                country=str(record.get("country", "") or ""),
+                source=str(record.get("source", "arin")).lower(),
+            ).validate()
+        except KeyError as exc:
+            raise SchemaError(f"bad Organization record: {record!r}") from exc
+
+
+@dataclass(frozen=True)
+class ASNDelegation:
+    """A WHOIS ASN record: the allocation of one ASN to one organization."""
+
+    asn: ASN
+    org_id: WhoisOrgID
+    name: str = ""
+    source: str = "arin"
+
+    def validate(self) -> "ASNDelegation":
+        if not is_valid_asn(self.asn):
+            raise SchemaError(f"delegation with invalid ASN {self.asn!r}")
+        if not self.org_id:
+            raise SchemaError(f"AS{self.asn}: empty org_id")
+        if self.source not in RIRS:
+            raise SchemaError(f"AS{self.asn}: unknown RIR {self.source!r}")
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "ASN",
+            "asn": str(self.asn),
+            "organizationId": self.org_id,
+            "name": self.name,
+            "source": self.source.upper(),
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "ASNDelegation":
+        try:
+            return cls(
+                asn=int(record["asn"]),
+                org_id=str(record["organizationId"]),
+                name=str(record.get("name", "") or ""),
+                source=str(record.get("source", "arin")).lower(),
+            ).validate()
+        except (KeyError, ValueError) as exc:
+            raise SchemaError(f"bad ASN record: {record!r}") from exc

@@ -1,0 +1,97 @@
+"""Unit tests for the APNIC-style population dataset."""
+
+import pytest
+
+from repro.apnic import ApnicDataset, PopulationRecord
+from repro.errors import DataError
+
+
+def make_dataset():
+    return ApnicDataset(
+        [
+            PopulationRecord(asn=3320, country="DE", users=24_000_000),
+            PopulationRecord(asn=6855, country="SK", users=2_000_000),
+            PopulationRecord(asn=5391, country="HR", users=1_000_000),
+            PopulationRecord(asn=21928, country="US", users=50_000_000),
+            PopulationRecord(asn=21928, country="PR", users=1_500_000),
+        ]
+    )
+
+
+class TestRecords:
+    def test_negative_users_rejected(self):
+        with pytest.raises(DataError):
+            PopulationRecord(asn=1, country="US", users=-1).validate()
+
+    def test_empty_country_rejected(self):
+        with pytest.raises(DataError):
+            PopulationRecord(asn=1, country="", users=5).validate()
+
+    def test_duplicate_asn_country_rejected(self):
+        dataset = make_dataset()
+        with pytest.raises(DataError):
+            dataset.add(PopulationRecord(asn=3320, country="DE", users=1))
+
+    def test_same_asn_new_country_allowed(self):
+        dataset = make_dataset()
+        dataset.add(PopulationRecord(asn=3320, country="AT", users=10))
+        assert dataset.users_of(3320) == 24_000_010
+
+
+class TestQueries:
+    def test_total_users(self):
+        assert make_dataset().total_users == 78_500_000
+
+    def test_users_of_multi_country_asn(self):
+        assert make_dataset().users_of(21928) == 51_500_000
+
+    def test_users_of_unknown_asn_is_zero(self):
+        assert make_dataset().users_of(999) == 0
+
+    def test_countries_of(self):
+        assert make_dataset().countries_of(21928) == {"US", "PR"}
+
+    def test_countries_of_excludes_zero_estimates(self):
+        dataset = make_dataset()
+        dataset.add(PopulationRecord(asn=5391, country="SI", users=0))
+        assert dataset.countries_of(5391) == {"HR"}
+
+    def test_users_of_group(self):
+        # The Deutsche Telekom cluster.
+        group = {3320, 6855, 5391, 21928}
+        assert make_dataset().users_of_group(group) == 78_500_000
+
+    def test_users_of_group_dedupes(self):
+        assert make_dataset().users_of_group([3320, 3320]) == 24_000_000
+
+    def test_countries_of_group(self):
+        footprint = make_dataset().countries_of_group({3320, 21928})
+        assert footprint == {"DE", "US", "PR"}
+
+    def test_len_and_contains(self):
+        dataset = make_dataset()
+        assert len(dataset) == 5
+        assert 3320 in dataset
+        assert 999 not in dataset
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "pop.csv"
+        dataset.save_csv(path)
+        loaded = ApnicDataset.load_csv(path)
+        assert loaded.total_users == dataset.total_users
+        assert loaded.countries_of(21928) == {"US", "PR"}
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DataError):
+            ApnicDataset.from_csv("a,b,c\n1,US,5\n")
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(DataError):
+            ApnicDataset.from_csv("asn,country,users\nxx,US,5\n")
+
+    def test_blank_rows_skipped(self):
+        dataset = ApnicDataset.from_csv("asn,country,users\n\n1,US,5\n")
+        assert dataset.total_users == 5

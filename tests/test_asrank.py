@@ -1,0 +1,142 @@
+"""Unit tests for the AS-Rank substrate: topology, cones, ranking."""
+
+import pytest
+
+from repro.asrank import ASTopology, compute_rank, customer_cones
+from repro.asrank.cone import cone_sizes, customer_cone
+from repro.errors import DataError, UnknownASNError
+
+
+def diamond():
+    """1 → {2, 3} → 4, plus stub 5 under 2."""
+    topology = ASTopology()
+    topology.add_p2c(1, 2)
+    topology.add_p2c(1, 3)
+    topology.add_p2c(2, 4)
+    topology.add_p2c(3, 4)
+    topology.add_p2c(2, 5)
+    return topology
+
+
+class TestTopology:
+    def test_basic_adjacency(self):
+        topology = diamond()
+        assert topology.customers_of(1) == {2, 3}
+        assert topology.providers_of(4) == {2, 3}
+        assert len(topology) == 5
+        assert topology.link_count == 5
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DataError):
+            diamond().add_p2c(1, 1)
+        with pytest.raises(DataError):
+            diamond().add_p2p(2, 2)
+
+    def test_idempotent_edges(self):
+        topology = diamond()
+        topology.add_p2c(1, 2)
+        assert topology.link_count == 5
+
+    def test_p2p_symmetric(self):
+        topology = diamond()
+        topology.add_p2p(2, 3)
+        assert 3 in topology.peers_of(2)
+        assert 2 in topology.peers_of(3)
+
+    def test_degree_counts_all_edges(self):
+        topology = diamond()
+        topology.add_p2p(2, 3)
+        assert topology.degree(2) == 4  # provider 1, customers 4+5, peer 3
+
+    def test_stub_detection(self):
+        topology = diamond()
+        assert topology.is_stub(4)
+        assert topology.is_stub(5)
+        assert not topology.is_stub(1)
+
+    def test_tier1_detection(self):
+        assert diamond().tier1s() == [1]
+
+    def test_acyclic_validation_passes(self):
+        diamond().validate_acyclic()
+
+    def test_cycle_detected(self):
+        topology = diamond()
+        topology.add_p2c(4, 1)  # 1 → 2 → 4 → 1
+        with pytest.raises(DataError):
+            topology.validate_acyclic()
+
+    def test_p2c_links_iterates_sorted(self):
+        links = list(diamond().p2c_links())
+        assert links == sorted(links)
+
+
+class TestCones:
+    def test_single_cone(self):
+        assert customer_cone(diamond(), 2) == {2, 4, 5}
+
+    def test_root_cone_is_everything(self):
+        assert customer_cone(diamond(), 1) == {1, 2, 3, 4, 5}
+
+    def test_stub_cone_is_self(self):
+        assert customer_cone(diamond(), 4) == {4}
+
+    def test_all_cones_consistent_with_single(self):
+        topology = diamond()
+        cones = customer_cones(topology)
+        for asn in topology.asns():
+            assert cones[asn] == customer_cone(topology, asn)
+
+    def test_cone_sizes(self):
+        sizes = cone_sizes(diamond())
+        assert sizes == {1: 5, 2: 3, 3: 2, 4: 1, 5: 1}
+
+    def test_shared_customer_counted_once(self):
+        # AS4 is a customer of both 2 and 3; AS1's cone holds it once.
+        assert cone_sizes(diamond())[1] == 5
+
+    def test_deep_chain_no_recursion_error(self):
+        topology = ASTopology()
+        for i in range(1, 5000):
+            topology.add_p2c(i, i + 1)
+        assert cone_sizes(topology)[1] == 5000
+
+
+class TestRank:
+    def test_rank_order(self):
+        rank = compute_rank(diamond())
+        assert rank.rank_of(1) == 1
+        assert rank.rank_of(2) == 2
+        assert rank.rank_of(3) == 3
+
+    def test_tie_breaks_by_degree_then_asn(self):
+        topology = ASTopology()
+        topology.add_p2c(10, 11)
+        topology.add_p2c(20, 21)
+        rank = compute_rank(topology)
+        # 10 and 20 tie on cone size (2) and degree (1): lower ASN first.
+        assert rank.rank_of(10) < rank.rank_of(20)
+
+    def test_top(self):
+        rank = compute_rank(diamond())
+        assert [e.asn for e in rank.top(2)] == [1, 2]
+
+    def test_unknown_asn_raises(self):
+        with pytest.raises(UnknownASNError):
+            compute_rank(diamond()).rank_of(999)
+
+    def test_rank_of_or_none(self):
+        rank = compute_rank(diamond())
+        assert rank.rank_of_or_none(999) is None
+        assert rank.rank_of_or_none(1) == 1
+
+    def test_best_ranked(self):
+        rank = compute_rank(diamond())
+        best = rank.best_ranked([4, 2, 5])
+        assert best is not None and best.asn == 2
+        assert rank.best_ranked([999]) is None
+
+    def test_len_and_iteration(self):
+        rank = compute_rank(diamond())
+        assert len(rank) == 5
+        assert [e.rank for e in rank] == [1, 2, 3, 4, 5]

@@ -1,0 +1,154 @@
+"""Tests for BGP route propagation and AS-relationship inference."""
+
+import random
+
+import pytest
+
+from repro.asrank import ASTopology, Relationship
+from repro.asrank.bgp import (
+    RouteAnnouncement,
+    collect_paths,
+    is_valley_free,
+    propagate_routes,
+)
+from repro.asrank.relationship_inference import (
+    InferredEdge,
+    infer_relationships,
+    observed_degrees,
+    score_inference,
+)
+
+
+def diamond():
+    """1 → {2, 3} → 4, stub 5 under 2, peers 2–3."""
+    topology = ASTopology()
+    topology.add_p2c(1, 2)
+    topology.add_p2c(1, 3)
+    topology.add_p2c(2, 4)
+    topology.add_p2c(3, 4)
+    topology.add_p2c(2, 5)
+    topology.add_p2p(2, 3)
+    return topology
+
+
+class TestPropagation:
+    def test_every_connected_as_gets_a_route(self):
+        table = propagate_routes(diamond(), 4)
+        assert set(table) == {1, 2, 3, 5}
+
+    def test_paths_end_at_origin(self):
+        table = propagate_routes(diamond(), 4)
+        for asn, (path, _rel) in table.items():
+            assert path[0] == asn
+            assert path[-1] == 4
+
+    def test_customer_route_preferred_over_peer(self):
+        # AS2 reaches 4 via its customer edge directly, not via peer 3.
+        table = propagate_routes(diamond(), 4)
+        assert table[2][0] == (2, 4)
+
+    def test_peer_route_not_exported_to_peer(self):
+        # 3 learns 5's route only via provider 1 (2 won't export its
+        # customer route to... it will: 5 is 2's customer so 2 exports to
+        # everyone, including peer 3 → (3, 2, 5).
+        table = propagate_routes(diamond(), 5)
+        assert table[3][0] == (3, 2, 5)
+
+    def test_provider_learned_routes_stay_downhill(self):
+        # 5 learns everything through its provider 2; those routes are
+        # never re-exported upward (5 has no customers, so moot) — but 1's
+        # route to 5 must not transit peer links after the descent.
+        table = propagate_routes(diamond(), 5)
+        assert table[1][0] == (1, 2, 5)
+
+    def test_no_route_across_partition(self):
+        topology = diamond()
+        topology.add_asn(99)  # isolated AS
+        table = propagate_routes(topology, 4)
+        assert 99 not in table
+
+    def test_loop_free_paths(self):
+        table = propagate_routes(diamond(), 4)
+        for path, _rel in table.values():
+            assert len(path) == len(set(path))
+
+
+class TestValleyFree:
+    def test_all_propagated_paths_valley_free(self):
+        topology = diamond()
+        for origin in topology.asns():
+            for path, _rel in propagate_routes(topology, origin).values():
+                assert is_valley_free(topology, path), path
+
+    def test_valley_path_rejected(self):
+        # 4 → 2 → 5 read as announcement (5, 2, 4): origin 4 climbs to 2
+        # then descends to 5 — fine.  A true valley: (1, 4, ...) is not
+        # even an edge; craft down-then-up: origin 5, up to 2, down to 4,
+        # then up to 3 — path (3, 4, 2, 5) read origin 5 → 2 (up) → 4
+        # (down) → 3 (up): invalid.
+        assert not is_valley_free(diamond(), (3, 4, 2, 5))
+
+    def test_two_peer_hops_rejected(self):
+        topology = ASTopology()
+        topology.add_p2p(1, 2)
+        topology.add_p2p(2, 3)
+        assert not is_valley_free(topology, (3, 2, 1))
+
+    def test_non_edge_rejected(self):
+        assert not is_valley_free(diamond(), (1, 5))
+
+
+class TestCollectors:
+    def test_one_announcement_per_collector_origin(self):
+        announcements = collect_paths(diamond(), collectors=[1, 5], origins=[4])
+        assert len(announcements) == 2
+        assert {a.collector_peer for a in announcements} == {1, 5}
+        assert all(a.origin == 4 for a in announcements)
+
+    def test_default_origins_cover_topology(self):
+        announcements = collect_paths(diamond(), collectors=[1])
+        origins = {a.origin for a in announcements}
+        assert origins == {2, 3, 4, 5}  # everything except the collector
+
+
+class TestInference:
+    def test_observed_degrees(self):
+        announcements = [RouteAnnouncement(path=(1, 2, 4))]
+        degrees = observed_degrees(announcements)
+        assert degrees == {1: 1, 2: 2, 4: 1}
+
+    def test_realistic_topology_accuracy(self, universe):
+        rng = random.Random(5)
+        topology = universe.topology
+        origins = rng.sample(topology.asns(), 120)
+        collectors = topology.tier1s()[:3] + rng.sample(topology.asns(), 3)
+        announcements = collect_paths(
+            topology, collectors=collectors, origins=origins
+        )
+        assert announcements
+        assert all(is_valley_free(topology, a.path) for a in announcements)
+        edges = infer_relationships(announcements)
+        score = score_inference(topology, edges)
+        # Degree-based Gao is accurate on the synthetic topology, with
+        # its textbook failure mode (peer/provider kind confusion) and
+        # no invented adjacencies.
+        assert score.accuracy > 0.75
+        assert score.nonexistent == 0
+        assert score.wrong_kind >= score.wrong_orientation
+
+    def test_scoring_vocabulary(self):
+        topology = diamond()
+        edges = [
+            InferredEdge(a=1, b=2, relationship=Relationship.P2C),   # correct
+            InferredEdge(a=2, b=1, relationship=Relationship.P2C),   # flipped
+            InferredEdge(a=2, b=3, relationship=Relationship.P2P),   # correct
+            InferredEdge(a=2, b=4, relationship=Relationship.P2P),   # wrong kind
+            InferredEdge(a=1, b=5, relationship=Relationship.P2C),   # not an edge
+        ]
+        score = score_inference(topology, edges)
+        assert score.total == 5
+        assert score.correct == 2
+        assert score.wrong_orientation == 1
+        assert score.wrong_kind == 1
+        assert score.nonexistent == 1
+        assert score.accuracy == pytest.approx(0.4)

@@ -1,0 +1,199 @@
+"""Unit tests for the classifier engine, error model, and simulated backend."""
+
+import pytest
+
+from repro.config import LLMConfig
+from repro.errors import LLMBackendError
+from repro.llm.classifier_engine import classify_group, decode_brand
+from repro.llm.client import ChatMessage
+from repro.llm.errors_model import ErrorInjector, stable_choice_index, stable_unit
+from repro.llm.parsing import parse_extraction_reply
+from repro.llm.prompts import render_classifier_messages, render_extraction_prompt
+from repro.llm.simulated import SimulatedChatBackend, make_default_client
+from repro.web.simweb import make_favicon
+
+
+class TestClassifierEngine:
+    def test_decode_brand(self):
+        assert decode_brand(make_favicon("claro")) == "claro"
+        assert decode_brand(b"random bytes") == ""
+
+    def test_company_with_matching_domains(self):
+        answer = classify_group(
+            make_favicon("claro"),
+            ["https://www.clarochile.cl/", "https://www.claro.com.pe/"],
+        )
+        assert answer.is_company
+        assert "Claro" in answer.reply
+
+    def test_framework_rejected(self):
+        answer = classify_group(
+            make_favicon("bootstrap-default"),
+            ["https://www.anosbd.com/", "https://www.rptechzone.in/"],
+        )
+        assert not answer.is_company
+        assert answer.reply == "Bootstrap"
+
+    def test_template_family_rejected(self):
+        answer = classify_group(
+            make_favicon("webtemplate3-default"),
+            ["https://a.example.com/", "https://b.example.com/"],
+        )
+        assert not answer.is_company
+
+    def test_unknown_icon(self):
+        answer = classify_group(b"???", ["https://a.example.com/"])
+        assert not answer.is_company
+
+    def test_zero_affinity_multiple_domains_unknown(self):
+        # The DE-CIX failure mode: brand icon, totally unrelated domains.
+        answer = classify_group(
+            make_favicon("decix"),
+            ["https://www.aqaba-ix.jo/", "https://www.ruhr-cix.de/"],
+        )
+        assert not answer.is_company
+        assert answer.reply == "I don't know"
+
+    def test_partial_affinity_accepted(self):
+        answer = classify_group(
+            make_favicon("telekom"),
+            ["https://www.telekom.de/", "https://www.t.ht.hr/"],
+        )
+        assert answer.is_company
+
+
+class TestErrorInjector:
+    def test_stable_unit_deterministic(self):
+        assert stable_unit(1, "a", 2) == stable_unit(1, "a", 2)
+
+    def test_stable_unit_varies_with_identity(self):
+        values = {stable_unit(1, "a", i) for i in range(50)}
+        assert len(values) == 50
+
+    def test_stable_unit_in_range(self):
+        for i in range(100):
+            assert 0.0 <= stable_unit(7, i) < 1.0
+
+    def test_stable_choice_index(self):
+        index = stable_choice_index(1, 5, "x")
+        assert 0 <= index < 5
+        assert index == stable_choice_index(1, 5, "x")
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stable_choice_index(1, 0)
+
+    def test_rates_respected_roughly(self):
+        injector = ErrorInjector(seed=3, rates={"slip": 0.1})
+        hits = sum(injector.should("slip", i) for i in range(5000))
+        assert 350 < hits < 650  # 10% ± wide tolerance
+
+    def test_zero_rate_never_fires(self):
+        injector = ErrorInjector(seed=3, rates={"slip": 0.0})
+        assert not any(injector.should("slip", i) for i in range(100))
+
+    def test_one_rate_always_fires(self):
+        injector = ErrorInjector(seed=3, rates={"slip": 1.0})
+        assert all(injector.should("slip", i) for i in range(10))
+
+    def test_kinds_independent(self):
+        injector = ErrorInjector(seed=3, rates={"a": 0.5, "b": 0.5})
+        outcomes_a = [injector.should("a", i) for i in range(200)]
+        outcomes_b = [injector.should("b", i) for i in range(200)]
+        assert outcomes_a != outcomes_b
+
+    def test_pick_deterministic(self):
+        injector = ErrorInjector(seed=3, rates={})
+        options = (10, 20, 30)
+        assert injector.pick("k", options, "id") == injector.pick("k", options, "id")
+
+
+class TestSimulatedBackend:
+    def test_extraction_round_trip(self):
+        client = make_default_client()
+        prompt = render_extraction_prompt(
+            3320, "Our sibling networks: AS6855 and AS5391.", ""
+        )
+        parsed = parse_extraction_reply(client.ask(prompt))
+        assert parsed.sibling_asns == (5391, 6855)
+
+    def test_extraction_empty_fields(self):
+        client = make_default_client()
+        prompt = render_extraction_prompt(1, "", "")
+        parsed = parse_extraction_reply(client.ask(prompt))
+        assert parsed.sibling_asns == ()
+
+    def test_classifier_round_trip(self):
+        client = make_default_client()
+        messages = render_classifier_messages(
+            ["https://www.clarochile.cl/", "https://www.claro.com.pe/"],
+            make_favicon("claro"),
+        )
+        assert "laro" in client.chat(messages).content
+
+    def test_classifier_framework_round_trip(self):
+        client = make_default_client()
+        messages = render_classifier_messages(
+            ["https://www.anosbd.com/", "https://www.rptechzone.in/"],
+            make_favicon("wordpress-default"),
+        )
+        assert client.chat(messages).content == "WordPress"
+
+    def test_unknown_prompt_rejected(self):
+        backend = SimulatedChatBackend()
+        with pytest.raises(LLMBackendError):
+            backend.complete(
+                [ChatMessage(role="user", content="What is BGP?")], LLMConfig()
+            )
+
+    def test_classifier_without_image_rejected(self):
+        backend = SimulatedChatBackend()
+        message = ChatMessage(
+            role="user",
+            content="Accessing these URLs ['https://a.example.com/'] "
+            "returned the attached favicon.",
+        )
+        with pytest.raises(LLMBackendError):
+            backend.complete([message], LLMConfig())
+
+    def test_determinism_across_instances(self):
+        prompt = render_extraction_prompt(9, "sister network AS71000", "")
+        first = make_default_client().ask(prompt)
+        second = make_default_client().ask(prompt)
+        assert first == second
+
+    def test_oracle_mode_never_errs(self):
+        config = LLMConfig(extraction_error_rate=0.0, classifier_error_rate=0.0)
+        client = make_default_client(config)
+        # Decoy-laden prompt: an oracle must not misread the phone number.
+        prompt = render_extraction_prompt(
+            1, "sister network AS71000. NOC phone: +1 555 0123.", ""
+        )
+        parsed = parse_extraction_reply(client.ask(prompt))
+        assert parsed.sibling_asns == (71000,)
+
+    def test_error_injection_measurable_at_high_rate(self):
+        config = LLMConfig(extraction_error_rate=1.0)
+        client = make_default_client(config)
+        # The drop slip fires at the full rate: exactly one of the two
+        # reported siblings must be omitted for every record.
+        decoy_hits = 0
+        drop_survived = 0
+        for asn in range(2, 30):
+            prompt = render_extraction_prompt(
+                asn, "sister networks AS71000 and AS71800. Founded in 1998.", ""
+            )
+            parsed = parse_extraction_reply(client.ask(prompt))
+            found = set(parsed.sibling_asns) & {71000, 71800}
+            # The drop slip removes one sibling; the upstream slip (0.4x
+            # rate) may re-add an excluded token, so one or both appear.
+            assert 1 <= len(found) <= 2
+            if len(found) == 1:
+                drop_survived += 1
+            if 1998 in parsed.sibling_asns:
+                decoy_hits += 1
+        # The decoy slip fires at 0.3x the configured rate — a visible
+        # fraction of records must pick up the 1998 decoy.
+        assert decoy_hits >= 3
+        # The drop must visibly remove a sibling for many records.
+        assert drop_survived >= 10

@@ -1,0 +1,121 @@
+"""Unit tests for configuration dataclasses and feature-combo helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ALL_FEATURES,
+    BorgesConfig,
+    LLMConfig,
+    ScraperConfig,
+    UniverseConfig,
+    all_feature_combos,
+    feature_combo_label,
+)
+from repro.errors import ConfigError
+
+
+class TestLLMConfig:
+    def test_defaults_validate(self):
+        LLMConfig().validate()
+
+    def test_paper_sampling_settings(self):
+        config = LLMConfig()
+        assert config.temperature == 0.0
+        assert config.top_p == 1.0
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(temperature=3.0).validate()
+
+    def test_bad_top_p_rejected(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(top_p=1.5).validate()
+
+    def test_bad_error_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(extraction_error_rate=1.5).validate()
+
+    def test_zero_max_tokens_rejected(self):
+        with pytest.raises(ConfigError):
+            LLMConfig(max_tokens=0).validate()
+
+
+class TestScraperConfig:
+    def test_defaults_validate(self):
+        ScraperConfig().validate()
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ConfigError):
+            ScraperConfig(max_redirect_hops=0).validate()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            ScraperConfig(timeout_seconds=-1).validate()
+
+
+class TestBorgesConfig:
+    def test_defaults_enable_all_features(self):
+        assert BorgesConfig().features == frozenset(ALL_FEATURES)
+
+    def test_with_features_restricts(self):
+        config = BorgesConfig().with_features("rr")
+        assert config.has("rr")
+        assert not config.has("oid_p")
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ConfigError):
+            BorgesConfig(features=frozenset({"bogus"})).validate()
+
+    def test_empty_feature_set_is_legal(self):
+        # The AS2Org-only configuration.
+        config = BorgesConfig().with_features()
+        assert not config.features
+
+
+class TestUniverseConfig:
+    def test_defaults_validate(self):
+        UniverseConfig().validate()
+
+    def test_too_few_orgs_rejected(self):
+        with pytest.raises(ConfigError):
+            UniverseConfig(n_organizations=3).validate()
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            UniverseConfig(website_rate=1.2).validate()
+
+    def test_scaled_shrinks_org_count(self):
+        config = UniverseConfig().scaled(0.1)
+        assert config.n_organizations == UniverseConfig().n_organizations // 10
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            UniverseConfig().scaled(0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            UniverseConfig().seed = 1  # type: ignore[misc]
+
+
+class TestFeatureCombos:
+    def test_sixteen_combos(self):
+        assert len(all_feature_combos()) == 16
+
+    def test_combos_unique(self):
+        combos = all_feature_combos()
+        assert len(set(combos)) == len(combos)
+
+    def test_empty_combo_present(self):
+        assert frozenset() in all_feature_combos()
+
+    def test_full_combo_present(self):
+        assert frozenset(ALL_FEATURES) in all_feature_combos()
+
+    def test_label_empty_is_baseline(self):
+        assert "AS2Org" in feature_combo_label(frozenset())
+
+    def test_label_order_is_stable(self):
+        label = feature_combo_label(frozenset(ALL_FEATURES))
+        assert label == "OID_P + N&A + R&R + F"

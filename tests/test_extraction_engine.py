@@ -1,0 +1,133 @@
+"""Unit tests for the semantic extraction engine (the simulated LLM's NER).
+
+These exercise the engine directly (no prompt round trip) over the text
+patterns the paper discusses: sibling prose, upstream listings, decoy
+numbers, multilingual cues, bullet-list scoping.
+"""
+
+from repro.llm.extraction_engine import (
+    contains_number,
+    extract_siblings,
+    find_all_numbers,
+    find_asn_tokens,
+)
+
+
+class TestTokenFinding:
+    def test_as_prefixed_forms(self):
+        text = "AS3356, AS 209, ASN 3320, AS-15133, asn: 22822"
+        assert find_asn_tokens(text) == [3356, 209, 3320, 15133, 22822]
+
+    def test_bare_numbers_not_asn_tokens(self):
+        assert find_asn_tokens("call +1 555 0123 founded 1998") == []
+
+    def test_reserved_asns_skipped(self):
+        assert find_asn_tokens("AS23456 AS64512") == []
+
+    def test_find_all_numbers(self):
+        assert find_all_numbers("a1b22c333") == [1, 22, 333]
+
+    def test_contains_number(self):
+        assert contains_number("AS3356")
+        assert not contains_number("no digits here")
+        assert not contains_number("")
+
+
+class TestSiblingExtraction:
+    def test_english_sibling_prose(self):
+        result = extract_siblings(
+            3320,
+            "Our sibling networks: AS6855 (Slovak Telekom) and AS5391.",
+            "",
+        )
+        assert result.asns == (5391, 6855)
+
+    def test_own_asn_excluded(self):
+        result = extract_siblings(3320, "We are AS3320, sibling of AS6855.", "")
+        assert result.asns == (6855,)
+
+    def test_upstream_listing_rejected(self):
+        # The Maxihost pattern (Appendix B).
+        notes = (
+            "We connect directly with the following ISPs,\n"
+            "- Algar (AS16735)\n"
+            "- Sparkle (AS6762)\n"
+            "- Cogent (AS174)"
+        )
+        assert extract_siblings(262287, notes, "").asns == ()
+
+    def test_mixed_notes_keep_only_siblings(self):
+        notes = (
+            "Part of the Examplecom group: AS71000 is our sister network.\n"
+            "\n"
+            "IP transit from our upstream providers:\n"
+            "- AS3356\n"
+            "- AS174"
+        )
+        assert extract_siblings(71001, notes, "").asns == (71000,)
+
+    def test_blank_line_resets_bullet_context(self):
+        notes = (
+            "Our upstream carriers:\n"
+            "- AS3356\n"
+            "\n"
+            "- AS6939"  # orphan bullet after blank: neutral context
+        )
+        result = extract_siblings(1, notes, "")
+        assert 3356 not in result.asns
+        assert 6939 in result.asns
+
+    def test_aka_numbers_are_siblings(self):
+        result = extract_siblings(22822, "", "LLNW, formerly AS15133")
+        assert result.asns == (15133,)
+
+    def test_aka_with_negative_cue_rejected(self):
+        result = extract_siblings(1, "", "upstream of AS3356")
+        assert result.asns == ()
+
+    def test_phone_and_year_ignored(self):
+        notes = "NOC phone: +1 555 0123. Founded in 1998."
+        assert extract_siblings(1, notes, "").asns == ()
+
+    def test_max_prefix_ignored(self):
+        assert extract_siblings(1, "Maximum prefixes accepted: 500", "").asns == ()
+
+    def test_as_in_as_out_sections_ignored(self):
+        notes = "as-in: 64512 as-out: 64513 AS3356"
+        assert extract_siblings(1, notes, "").asns == ()
+
+    def test_neutral_as_mention_reported(self):
+        result = extract_siblings(1, "Also operating network AS71000.", "")
+        assert result.asns == (71000,)
+
+    def test_reasoning_populated(self):
+        result = extract_siblings(1, "sister network AS71000", "")
+        assert result.reasoning
+        result_empty = extract_siblings(1, "nothing numeric", "")
+        assert result_empty.reasoning == "no sibling ASNs reported"
+
+
+class TestMultilingual:
+    def test_spanish(self):
+        notes = "Somos parte del grupo Claro. También operamos AS71001."
+        assert extract_siblings(1, notes, "").asns == (71001,)
+
+    def test_portuguese(self):
+        notes = "Esta rede pertence ao grupo X; subsidiária junto com AS71002."
+        assert extract_siblings(1, notes, "").asns == (71002,)
+
+    def test_german(self):
+        notes = "Wir sind Teil der Telekom Gruppe. Wir betreiben auch AS71003."
+        assert extract_siblings(1, notes, "").asns == (71003,)
+
+    def test_french(self):
+        notes = "Filiale de Orange. Nous exploitons également AS71004."
+        assert extract_siblings(1, notes, "").asns == (71004,)
+
+    def test_indonesian(self):
+        notes = "Kami adalah bagian dari grup Telkom. Kami juga AS71005."
+        assert extract_siblings(1, notes, "").asns == (71005,)
+
+    def test_spanish_upstreams_rejected(self):
+        notes = "Estamos conectado a los siguientes proveedores: AS3356, AS174"
+        assert extract_siblings(1, notes, "").asns == ()

@@ -1,0 +1,186 @@
+"""Unit tests for the chat client: messages, caching, retries, usage."""
+
+import pytest
+
+from repro.config import LLMConfig
+from repro.errors import LLMBackendError
+from repro.llm.cache import ResponseCache
+from repro.llm.client import (
+    ChatBackend,
+    ChatClient,
+    ChatMessage,
+    ImageContent,
+    TextContent,
+)
+from repro.llm.usage import TokenUsage, estimate_tokens
+
+
+class EchoBackend(ChatBackend):
+    name = "echo"
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, messages, config):
+        self.calls += 1
+        return "echo: " + messages[-1].text
+
+
+class FlakyBackend(ChatBackend):
+    name = "flaky"
+
+    def __init__(self, fail_times):
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def complete(self, messages, config):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise LLMBackendError("simulated rate limit")
+        return "recovered"
+
+
+class TestMessages:
+    def test_text_property_string_content(self):
+        assert ChatMessage(role="user", content="hello").text == "hello"
+
+    def test_text_property_block_content(self):
+        message = ChatMessage(
+            role="user",
+            content=[TextContent(text="a"), TextContent(text="b")],
+        )
+        assert message.text == "a\nb"
+
+    def test_images_extracted(self):
+        image = ImageContent(data=b"ICO:x")
+        message = ChatMessage(role="user", content=[TextContent(text="t"), image])
+        assert message.images == [image]
+
+    def test_image_data_url_round_trip(self):
+        image = ImageContent(data=b"ICO:claro", media_type="image/png")
+        recovered = ImageContent.from_data_url(image.data_url)
+        assert recovered.data == b"ICO:claro"
+        assert recovered.media_type == "image/png"
+
+    def test_cache_key_distinguishes_images(self):
+        a = ChatMessage(role="user", content=[ImageContent(data=b"1")])
+        b = ChatMessage(role="user", content=[ImageContent(data=b"2")])
+        assert a.cache_key() != b.cache_key()
+
+
+class TestClient:
+    def test_ask_round_trip(self):
+        client = ChatClient(EchoBackend())
+        assert client.ask("ping") == "echo: ping"
+
+    def test_deterministic_requests_cached(self):
+        backend = EchoBackend()
+        client = ChatClient(backend)
+        first = client.chat([ChatMessage(role="user", content="x")])
+        second = client.chat([ChatMessage(role="user", content="x")])
+        assert backend.calls == 1
+        assert not first.cached
+        assert second.cached
+        assert second.content == first.content
+
+    def test_nonzero_temperature_disables_cache(self):
+        backend = EchoBackend()
+        client = ChatClient(backend, config=LLMConfig(temperature=0.7))
+        client.ask("x")
+        client.ask("x")
+        assert backend.calls == 2
+
+    def test_retries_then_succeeds(self):
+        backend = FlakyBackend(fail_times=2)
+        client = ChatClient(backend, max_retries=3)
+        assert client.ask("x") == "recovered"
+        assert backend.calls == 3
+
+    def test_retries_exhausted_raises(self):
+        backend = FlakyBackend(fail_times=10)
+        client = ChatClient(backend, max_retries=2)
+        with pytest.raises(LLMBackendError):
+            client.ask("x")
+
+    def test_usage_accumulates(self):
+        client = ChatClient(EchoBackend())
+        client.ask("a question of some length")
+        client.ask("another question")
+        assert client.request_count == 2
+        assert client.total_usage.prompt_tokens > 0
+        assert client.total_usage.completion_tokens > 0
+
+    def test_cached_responses_cost_nothing(self):
+        client = ChatClient(EchoBackend())
+        client.ask("x")
+        usage_after_first = client.total_usage.total_tokens
+        client.ask("x")
+        assert client.total_usage.total_tokens == usage_after_first
+
+    def test_shared_cache_across_clients(self):
+        cache = ResponseCache()
+        backend = EchoBackend()
+        ChatClient(backend, cache=cache).ask("x")
+        ChatClient(backend, cache=cache).ask("x")
+        assert backend.calls == 1
+
+
+class TestUsage:
+    def test_estimate_tokens_empty(self):
+        assert estimate_tokens("") == 0
+
+    def test_estimate_tokens_minimum_one(self):
+        assert estimate_tokens("a") == 1
+
+    def test_estimate_scales_with_length(self):
+        assert estimate_tokens("word " * 100) > estimate_tokens("word")
+
+    def test_usage_addition(self):
+        total = TokenUsage(10, 5) + TokenUsage(1, 2)
+        assert total.prompt_tokens == 11
+        assert total.completion_tokens == 7
+        assert total.total_tokens == 18
+
+    def test_cost_usd(self):
+        usage = TokenUsage(prompt_tokens=1_000_000, completion_tokens=0)
+        assert usage.cost_usd() == pytest.approx(0.15)
+
+
+class TestCache:
+    def test_put_get(self):
+        cache = ResponseCache()
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = ResponseCache()
+        assert cache.get("nothing") is None
+        assert cache.misses == 1
+
+    def test_eviction_at_capacity(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.put("c", "3")
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("c") == "3"
+
+    def test_lru_ordering(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.get("a")  # refresh a
+        cache.put("c", "3")  # evicts b
+        assert cache.get("a") == "1"
+        assert cache.get("b") is None
+
+    def test_persistence_round_trip(self, tmp_path):
+        cache = ResponseCache()
+        cache.put("k", "v")
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        fresh = ResponseCache()
+        fresh.load(path)
+        assert fresh.get("k") == "v"

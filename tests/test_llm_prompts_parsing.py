@@ -1,0 +1,133 @@
+"""Unit tests for prompt rendering and structured-output parsing."""
+
+import pytest
+
+from repro.errors import LLMResponseError, PromptError
+from repro.llm.parsing import (
+    parse_classifier_reply,
+    parse_extraction_reply,
+    render_extraction_reply,
+)
+from repro.llm.prompts import (
+    CLASSIFIER_PROMPT_MARKER,
+    EXTRACTION_PROMPT_MARKER,
+    render_classifier_messages,
+    render_extraction_prompt,
+)
+
+
+class TestExtractionPrompt:
+    def test_contains_paper_framing(self):
+        prompt = render_extraction_prompt(3320, "some notes", "some aka")
+        assert EXTRACTION_PROMPT_MARKER in prompt
+        assert "as-in" in prompt and "as-out" in prompt
+        assert "explicitly written" in prompt
+
+    def test_embeds_fields(self):
+        prompt = render_extraction_prompt(3320, "NOTES-HERE", "AKA-HERE")
+        assert "ASN 3320" in prompt
+        assert "Notes: NOTES-HERE" in prompt
+        assert "AKA: AKA-HERE" in prompt
+
+    def test_empty_fields_get_placeholder(self):
+        prompt = render_extraction_prompt(1, "", "")
+        assert "Notes: (empty)" in prompt
+
+    def test_bad_asn_rejected(self):
+        with pytest.raises(PromptError):
+            render_extraction_prompt(0, "x", "y")
+
+    def test_format_instructions_included(self):
+        assert "sibling_asns" in render_extraction_prompt(1, "x", "y")
+
+
+class TestClassifierPrompt:
+    def test_message_structure(self):
+        messages = render_classifier_messages(
+            ["https://a.example.com/"], b"ICO:claro"
+        )
+        assert len(messages) == 1
+        assert CLASSIFIER_PROMPT_MARKER in messages[0].text
+        assert messages[0].images[0].data == b"ICO:claro"
+
+    def test_urls_embedded(self):
+        messages = render_classifier_messages(
+            ["https://a.example.com/", "https://b.example.com/"], b"ICO:x"
+        )
+        assert "a.example.com" in messages[0].text
+
+    def test_requires_urls(self):
+        with pytest.raises(PromptError):
+            render_classifier_messages([], b"ICO:x")
+
+    def test_requires_favicon(self):
+        with pytest.raises(PromptError):
+            render_classifier_messages(["https://a.example.com/"], b"")
+
+
+class TestExtractionReplyParsing:
+    def test_round_trip(self):
+        reply = render_extraction_reply([3356, 209], "they are siblings")
+        parsed = parse_extraction_reply(reply)
+        assert parsed.sibling_asns == (209, 3356)
+        assert parsed.reasoning == "they are siblings"
+        assert parsed.found
+
+    def test_empty_list(self):
+        parsed = parse_extraction_reply('{"sibling_asns": [], "reasoning": ""}')
+        assert parsed.sibling_asns == ()
+        assert not parsed.found
+
+    def test_fenced_json(self):
+        raw = '```json\n{"sibling_asns": [7], "reasoning": "x"}\n```'
+        assert parse_extraction_reply(raw).sibling_asns == (7,)
+
+    def test_json_embedded_in_prose(self):
+        raw = 'Sure! {"sibling_asns": [7], "reasoning": "x"} Hope that helps.'
+        assert parse_extraction_reply(raw).sibling_asns == (7,)
+
+    def test_dedupes_and_sorts(self):
+        raw = '{"sibling_asns": [9, 3, 9], "reasoning": ""}'
+        assert parse_extraction_reply(raw).sibling_asns == (3, 9)
+
+    def test_string_numbers_coerced(self):
+        raw = '{"sibling_asns": ["42"], "reasoning": ""}'
+        assert parse_extraction_reply(raw).sibling_asns == (42,)
+
+    def test_garbage_raises(self):
+        with pytest.raises(LLMResponseError):
+            parse_extraction_reply("no json here at all")
+
+    def test_non_list_field_raises(self):
+        with pytest.raises(LLMResponseError):
+            parse_extraction_reply('{"sibling_asns": "oops"}')
+
+    def test_non_numeric_entry_raises(self):
+        with pytest.raises(LLMResponseError):
+            parse_extraction_reply('{"sibling_asns": ["xyz"]}')
+
+
+class TestClassifierReplyParsing:
+    def test_company_name(self):
+        verdict = parse_classifier_reply("Claro")
+        assert verdict.is_company
+        assert verdict.answer == "Claro"
+
+    def test_parent_company_name(self):
+        assert parse_classifier_reply("Deutsche Telekom").is_company
+
+    def test_framework_names_rejected(self):
+        for reply in ("Bootstrap", "WordPress", "GoDaddy", "IXC Soft"):
+            assert not parse_classifier_reply(reply).is_company
+
+    def test_i_dont_know(self):
+        verdict = parse_classifier_reply("I don't know")
+        assert not verdict.is_company
+        assert verdict.is_unknown
+
+    def test_trailing_period_stripped(self):
+        assert parse_classifier_reply("Orange.").answer == "Orange"
+
+    def test_empty_reply_raises(self):
+        with pytest.raises(LLMResponseError):
+            parse_classifier_reply("   ")

@@ -1,0 +1,147 @@
+"""Tests for the longitudinal (organizational-evolution) extension."""
+
+import pytest
+
+from repro.core.mapping import OrgMapping
+from repro.longitudinal import (
+    build_snapshot_series,
+    detect_merges,
+    run_longitudinal_study,
+)
+from repro.universe.canonical import (
+    AS_CENTURYLINK,
+    AS_CLEARWIRE,
+    AS_LUMEN,
+    AS_TMOBILE_US,
+)
+
+
+@pytest.fixture(scope="module")
+def series(universe):
+    return build_snapshot_series(universe)
+
+
+@pytest.fixture(scope="module")
+def report(series):
+    return run_longitudinal_study(series)
+
+
+class TestSnapshotSeries:
+    def test_years_ascending(self, series):
+        assert series.years == sorted(series.years)
+
+    def test_pending_acquisitions_decrease(self, series):
+        pending = [len(s.pending_brand_ids) for s in series.snapshots]
+        assert pending == sorted(pending, reverse=True)
+        assert pending[-1] == 0  # the present: everything completed
+
+    def test_asn_universe_constant(self, series, universe):
+        for snapshot in series.snapshots:
+            assert snapshot.whois.asns() == universe.whois.asns()
+
+    def test_final_snapshot_matches_present(self, series, universe):
+        final = series.final()
+        assert final.whois.members() == universe.whois.members()
+        assert final.pdb.stats() == universe.pdb.stats()
+
+    def test_ground_truth_splits_pending_brands(self, series, universe):
+        earliest = series.snapshots[0]
+        assert len(earliest.ground_truth) >= len(universe.ground_truth)
+        # Every pending brand is its own org in the early truth.
+        for brand_id in earliest.pending_brand_ids:
+            brand = next(
+                b for b in universe.ground_truth.all_brands()
+                if b.brand_id == brand_id
+            )
+            early_org = earliest.ground_truth.org_of_asn(brand.primary_asn)
+            assert set(early_org.asns) == set(brand.asns)
+
+    def test_pending_sites_do_not_redirect(self, series, universe):
+        earliest = series.snapshots[0]
+        for brand_id in earliest.pending_brand_ids:
+            brand = next(
+                b for b in universe.ground_truth.all_brands()
+                if b.brand_id == brand_id
+            )
+            if not brand.website_host:
+                continue
+            site = earliest.web.site_for(f"https://{brand.website_host}/")
+            assert site is not None
+            assert site.redirect_target == ""
+
+    def test_stale_notes_scrubbed(self, series, universe):
+        earliest = series.snapshots[0]
+        pending_asns = set()
+        for brand_id in earliest.pending_brand_ids:
+            brand = next(
+                b for b in universe.ground_truth.all_brands()
+                if b.brand_id == brand_id
+            )
+            pending_asns.update(brand.asns)
+        for net in earliest.pdb.networks():
+            if net.asn in pending_asns:
+                continue
+            for asn in pending_asns:
+                assert f"AS{asn}" not in net.notes
+                assert f"AS{asn}" not in net.aka
+
+
+class TestClearwireHistory:
+    """The Fig. 5b story in time: Clearwire joins T-Mobile only in 2020."""
+
+    def test_clearwire_independent_early(self, report, series):
+        early = report.results[0]
+        if early.year < 2020:
+            assert not early.mapping.are_siblings(AS_CLEARWIRE, AS_TMOBILE_US)
+
+    def test_clearwire_joined_in_the_present(self, report):
+        final = report.results[-1]
+        assert final.mapping.are_siblings(AS_CLEARWIRE, AS_TMOBILE_US)
+
+    def test_lumen_centurylink_timeline(self, report):
+        # Acquired 2016: separate before, together after.
+        for result in report.results:
+            together = result.mapping.are_siblings(AS_LUMEN, AS_CENTURYLINK)
+            if result.year >= 2017:
+                assert together
+            if result.year < 2016:
+                assert not together
+
+
+class TestEvolutionReport:
+    def test_theta_nondecreasing_over_time(self, report):
+        thetas = [r.theta for r in report.results]
+        assert all(b >= a - 1e-9 for a, b in zip(thetas, thetas[1:]))
+
+    def test_org_count_nonincreasing(self, report):
+        counts = [r.org_count for r in report.results]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_merges_detected(self, report):
+        assert report.merges
+        for event in report.merges:
+            assert len(event.prior_components) >= 2
+            assert event.year_from < event.year_to
+
+    def test_series_accessors(self, report):
+        years, thetas = report.theta_series()
+        assert len(years) == len(thetas) == len(report.results)
+
+
+class TestDetectMerges:
+    def test_simple_merge(self):
+        earlier = OrgMapping(universe=[1, 2, 3, 4], clusters=[{1, 2}])
+        later = OrgMapping(universe=[1, 2, 3, 4], clusters=[{1, 2, 3}])
+        events = detect_merges(earlier, later, 2019, 2020)
+        assert len(events) == 1
+        assert events[0].merged_cluster == frozenset({1, 2, 3})
+        assert frozenset({1, 2}) in events[0].prior_components
+
+    def test_no_change_no_events(self):
+        mapping = OrgMapping(universe=[1, 2, 3], clusters=[{1, 2}])
+        assert detect_merges(mapping, mapping, 2019, 2020) == []
+
+    def test_new_asns_are_not_merges(self):
+        earlier = OrgMapping(universe=[1, 2], clusters=[{1, 2}])
+        later = OrgMapping(universe=[1, 2, 9], clusters=[{1, 2, 9}])
+        assert detect_merges(earlier, later, 2019, 2020) == []

@@ -1,0 +1,156 @@
+"""Unit tests for metrics: Organization Factor, confusion counts, growth."""
+
+import pytest
+
+from repro.core.mapping import OrgMapping
+from repro.errors import ConfigError
+from repro.metrics import ConfusionCounts, marginal_growth, org_factor
+from repro.metrics.growth import baseline_components, marginal_members_growth
+from repro.metrics.org_factor import (
+    cumulative_curve,
+    org_factor_from_mapping,
+    singleton_curve,
+)
+
+
+class TestOrgFactor:
+    def test_all_singletons_is_zero(self):
+        assert org_factor([1] * 50) == 0.0
+
+    def test_single_org_is_one(self):
+        assert org_factor([50]) == 1.0
+
+    def test_monotone_in_consolidation(self):
+        # Merging two orgs can only raise theta.
+        fragmented = org_factor([2, 2, 1, 1, 1, 1])
+        merged = org_factor([4, 1, 1, 1, 1])
+        assert merged > fragmented
+
+    def test_range_bounds(self):
+        for sizes in ([3, 2, 1], [10, 5, 5], [1, 1, 7]):
+            value = org_factor(sizes)
+            assert 0.0 <= value <= 1.0
+
+    def test_order_irrelevant(self):
+        assert org_factor([1, 5, 3]) == org_factor([5, 3, 1])
+
+    def test_zeros_ignored(self):
+        assert org_factor([3, 2, 0, 0]) == org_factor([3, 2])
+
+    def test_trivial_inputs(self):
+        assert org_factor([]) == 0.0
+        assert org_factor([1]) == 0.0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            org_factor([3, -1])
+
+    def test_unknown_normalization_rejected(self):
+        with pytest.raises(ConfigError):
+            org_factor([1, 2], normalization="bogus")
+
+    def test_paper_literal_is_half_area(self):
+        sizes = [4, 3, 2, 1, 1, 1]
+        n = sum(sizes)
+        normalized = org_factor(sizes)
+        literal = org_factor(sizes, normalization="paper_literal")
+        # normalized uses n(n-1)/2; literal uses n^2.
+        assert literal == pytest.approx(normalized * (n - 1) / (2 * n))
+
+    def test_exact_small_case(self):
+        # sizes [2, 1], n=3: C = [2, 3, 3]; area = (2-1)+(3-2)+(3-3) = 2;
+        # max area = 3*2/2 = 3.
+        assert org_factor([2, 1]) == pytest.approx(2 / 3)
+
+    def test_from_mapping(self):
+        mapping = OrgMapping(universe=[1, 2, 3], clusters=[{1, 2}])
+        assert org_factor_from_mapping(mapping) == pytest.approx(2 / 3)
+
+
+class TestCurves:
+    def test_cumulative_curve_shape(self):
+        xs, ys = cumulative_curve([3, 1])
+        assert xs == [1, 2, 3, 4]
+        assert ys == [3, 4, 4, 4]
+
+    def test_cumulative_curve_padding(self):
+        xs, ys = cumulative_curve([2], pad_to=5)
+        assert len(xs) == 5
+        assert ys[-1] == 2
+
+    def test_singleton_curve_is_diagonal(self):
+        xs, ys = singleton_curve(4)
+        assert xs == ys == [1, 2, 3, 4]
+
+    def test_curve_consistent_with_theta(self):
+        sizes = [5, 3, 1, 1]
+        xs, ys = cumulative_curve(sizes)
+        n = sum(sizes)
+        area = sum(y - x for x, y in zip(xs, ys))
+        assert org_factor(sizes) == pytest.approx(area / (n * (n - 1) / 2))
+
+
+class TestConfusionCounts:
+    def test_rates(self):
+        counts = ConfusionCounts(tp=187, tn=116, fn=12, fp=5)
+        assert counts.total == 320
+        assert counts.precision == pytest.approx(0.974, abs=1e-3)
+        assert counts.recall == pytest.approx(0.94, abs=1e-3)
+        assert counts.accuracy == pytest.approx(0.947, abs=1e-3)
+
+    def test_empty_counts_are_zero(self):
+        counts = ConfusionCounts()
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.accuracy == 0.0
+        assert counts.f1 == 0.0
+
+    def test_addition(self):
+        total = ConfusionCounts(tp=1) + ConfusionCounts(tn=2, fp=3)
+        assert (total.tp, total.tn, total.fp, total.fn) == (1, 2, 3, 0)
+
+    def test_table_row_keys(self):
+        row = ConfusionCounts(tp=1).as_table_row()
+        assert set(row) == {"TP", "TN", "FP", "FN", "precision", "recall", "accuracy"}
+
+    def test_f1(self):
+        counts = ConfusionCounts(tp=10, fp=10, fn=10)
+        assert counts.f1 == pytest.approx(0.5)
+
+
+class TestMarginalGrowth:
+    def setup_method(self):
+        self.baseline = OrgMapping(
+            universe=[1, 2, 3, 4, 5], clusters=[{1, 2}, {3}]
+        )
+        self.weights = {1: 300, 2: 0, 3: 200, 4: 100, 5: 7}
+
+    def weight_of(self, group):
+        return float(sum(self.weights[a] for a in group))
+
+    def test_components(self):
+        components = baseline_components(
+            frozenset({1, 2, 3, 4}), self.baseline.cluster_of
+        )
+        assert frozenset({1, 2}) in components
+        assert frozenset({3}) in components
+        assert frozenset({4}) in components
+
+    def test_growth_over_largest_component(self):
+        # Merged weight 600; largest prior (1,2) = 300 → growth 300.
+        growth = marginal_growth(
+            frozenset({1, 2, 3, 4}), self.baseline.cluster_of, self.weight_of
+        )
+        assert growth == 300.0
+
+    def test_unchanged_cluster_has_zero_growth(self):
+        growth = marginal_growth(
+            frozenset({1, 2}), self.baseline.cluster_of, self.weight_of
+        )
+        assert growth == 0.0
+
+    def test_members_growth(self):
+        growth = marginal_members_growth(
+            frozenset({1, 2, 3}), self.baseline.cluster_of
+        )
+        assert growth == 1  # 3 members minus largest component (2)

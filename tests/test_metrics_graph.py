@@ -1,0 +1,79 @@
+"""Tests for the networkx clique-graph view of a mapping."""
+
+import networkx as nx
+import pytest
+
+from repro.core.mapping import OrgMapping
+from repro.metrics.graph import (
+    graph_org_factor,
+    graph_stats,
+    is_valid_clique_graph,
+    mapping_to_graph,
+)
+from repro.metrics import org_factor_from_mapping
+
+
+def small_mapping():
+    return OrgMapping(
+        universe=[1, 2, 3, 4, 5, 6, 7],
+        clusters=[{1, 2, 3}, {4, 5}],
+        org_names={1: "Trio", 4: "Duo"},
+    )
+
+
+class TestGraphConstruction:
+    def test_every_asn_is_a_node(self):
+        graph = mapping_to_graph(small_mapping())
+        assert set(graph.nodes) == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_cliques_within_orgs(self):
+        graph = mapping_to_graph(small_mapping())
+        assert graph.has_edge(1, 2) and graph.has_edge(1, 3) and graph.has_edge(2, 3)
+        assert graph.has_edge(4, 5)
+
+    def test_no_edges_across_orgs(self):
+        graph = mapping_to_graph(small_mapping())
+        assert not graph.has_edge(3, 4)
+        assert not graph.has_edge(1, 6)
+
+    def test_singletons_isolated(self):
+        graph = mapping_to_graph(small_mapping())
+        assert graph.degree(6) == 0
+        assert graph.degree(7) == 0
+
+    def test_node_attributes(self):
+        graph = mapping_to_graph(small_mapping())
+        assert graph.nodes[2]["org_name"] == "Trio"
+        assert graph.nodes[1]["org"] == graph.nodes[3]["org"]
+        assert graph.nodes[1]["org"] != graph.nodes[4]["org"]
+
+    def test_structure_is_valid_clique_graph(self):
+        assert is_valid_clique_graph(mapping_to_graph(small_mapping()))
+
+    def test_invalid_graph_detected(self):
+        graph = nx.path_graph(4)  # a path is not a clique
+        assert not is_valid_clique_graph(graph)
+
+
+class TestGraphTheta:
+    def test_matches_size_vector_theta(self):
+        mapping = small_mapping()
+        graph = mapping_to_graph(mapping)
+        assert graph_org_factor(graph) == pytest.approx(
+            org_factor_from_mapping(mapping)
+        )
+
+    def test_cross_validates_on_real_mapping(self, borges_mapping):
+        graph = mapping_to_graph(borges_mapping)
+        assert graph_org_factor(graph) == pytest.approx(
+            org_factor_from_mapping(borges_mapping)
+        )
+        assert is_valid_clique_graph(graph)
+
+    def test_stats_consistent(self):
+        graph = mapping_to_graph(small_mapping())
+        stats = graph_stats(graph)
+        assert stats["nodes"] == 7
+        assert stats["organizations"] == 4
+        assert stats["edges"] == stats["expected_clique_edges"] == 4
+        assert stats["largest_organization"] == 3

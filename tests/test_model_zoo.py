@@ -1,0 +1,89 @@
+"""Tests for the simulated model zoo and the model-comparison analysis."""
+
+import pytest
+
+from repro.analysis.model_comparison import model_comparison_table
+from repro.config import BorgesConfig, LLMConfig
+from repro.core.ner import NERModule
+from repro.errors import ConfigError
+from repro.llm.model_zoo import MODEL_ZOO, get_profile, zoo_names
+from repro.llm.simulated import make_default_client
+from repro.analysis import validate_extraction
+
+
+class TestZoo:
+    def test_papers_model_is_the_anchor(self):
+        anchor = get_profile("gpt-4o-mini-sim")
+        defaults = LLMConfig()
+        assert anchor.extraction_error_rate == defaults.extraction_error_rate
+        assert anchor.classifier_error_rate == defaults.classifier_error_rate
+        assert anchor.cost_multiplier == 1.0
+
+    def test_five_models(self):
+        assert len(zoo_names()) == 5
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigError):
+            get_profile("gpt-17-sim")
+
+    def test_llm_config_carries_profile(self):
+        config = get_profile("llama-3-8b-sim").llm_config()
+        config.validate()
+        assert config.model == "llama-3-8b-sim"
+        assert config.extraction_error_rate == 0.09
+
+    def test_profiles_ordered_by_quality(self):
+        # The reasoning tier must be strictly better at extraction than
+        # the small open-weights tier.
+        assert (
+            get_profile("deepseek-r1-sim").extraction_error_rate
+            < get_profile("llama-3-8b-sim").extraction_error_rate
+        )
+
+
+class TestQualityTracksProfile:
+    @pytest.fixture(scope="class")
+    def accuracies(self, universe):
+        values = {}
+        for name in ("deepseek-r1-sim", "gpt-4o-mini-sim", "llama-3-8b-sim"):
+            llm = get_profile(name).llm_config()
+            ner = NERModule(make_default_client(llm), BorgesConfig(llm=llm))
+            validation = validate_extraction(
+                ner, universe.pdb, universe.annotations
+            )
+            values[name] = validation.counts.accuracy
+        return values
+
+    def test_better_model_better_extraction(self, accuracies):
+        # On the small test universe the sample is coarse, so ties can
+        # occur between adjacent tiers; the ordering must never invert
+        # (the full-scale bench asserts strict separation).
+        assert accuracies["deepseek-r1-sim"] >= accuracies["gpt-4o-mini-sim"]
+        assert accuracies["gpt-4o-mini-sim"] >= accuracies["llama-3-8b-sim"]
+
+    def test_all_models_usable(self, accuracies):
+        # Even the noisiest tier stays far above coin-flipping.
+        assert min(accuracies.values()) > 0.75
+
+
+class TestComparisonTable:
+    def test_table_shape(self, universe, pipeline, borges_result):
+        from repro.experiments.runner import ExperimentContext
+        from repro.baselines import (
+            build_as2org_mapping,
+            build_as2orgplus_mapping,
+        )
+
+        context = ExperimentContext(
+            universe=universe,
+            pipeline=pipeline,
+            result=borges_result,
+            as2org=build_as2org_mapping(universe.whois),
+            as2orgplus=build_as2orgplus_mapping(universe.whois, universe.pdb),
+        )
+        rows = model_comparison_table(context)
+        assert len(rows) == len(MODEL_ZOO)
+        for row in rows:
+            assert 0.0 < row["extract_accuracy"] <= 1.0
+            assert 0.0 < row["theta"] < 1.0
+            assert row["pair_precision"] > 0.8

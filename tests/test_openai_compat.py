@@ -1,0 +1,71 @@
+"""Unit tests for the OpenAI-compatible backend adapter (wire format)."""
+
+import json
+
+import pytest
+
+from repro.config import LLMConfig
+from repro.errors import LLMBackendError
+from repro.llm.client import ChatMessage, ImageContent, TextContent
+from repro.llm.openai_compat import OpenAICompatBackend, message_to_wire
+
+
+class TestWireFormat:
+    def test_string_message(self):
+        wire = message_to_wire(ChatMessage(role="user", content="hi"))
+        assert wire == {"role": "user", "content": "hi"}
+
+    def test_block_message(self):
+        message = ChatMessage(
+            role="user",
+            content=[TextContent(text="t"), ImageContent(data=b"ICO:x")],
+        )
+        wire = message_to_wire(message)
+        blocks = wire["content"]
+        assert blocks[0] == {"type": "text", "text": "t"}
+        assert blocks[1]["type"] == "image_url"
+        assert blocks[1]["image_url"]["url"].startswith("data:image/jpeg;base64,")
+
+    def test_wire_is_json_serializable(self):
+        message = ChatMessage(
+            role="user", content=[ImageContent(data=b"\x00\x01")]
+        )
+        json.dumps(message_to_wire(message))
+
+
+class TestContentExtraction:
+    def test_valid_payload(self):
+        body = {"choices": [{"message": {"content": "hello"}}]}
+        assert OpenAICompatBackend._extract_content(body) == "hello"
+
+    def test_missing_choices(self):
+        with pytest.raises(LLMBackendError):
+            OpenAICompatBackend._extract_content({})
+
+    def test_empty_choices(self):
+        with pytest.raises(LLMBackendError):
+            OpenAICompatBackend._extract_content({"choices": []})
+
+    def test_non_string_content(self):
+        body = {"choices": [{"message": {"content": 42}}]}
+        with pytest.raises(LLMBackendError):
+            OpenAICompatBackend._extract_content(body)
+
+
+class TestOfflineBehaviour:
+    def test_unreachable_endpoint_raises_backend_error(self):
+        backend = OpenAICompatBackend(
+            base_url="http://127.0.0.1:1/v1", timeout_seconds=0.2
+        )
+        with pytest.raises(LLMBackendError):
+            backend.complete(
+                [ChatMessage(role="user", content="hi")], LLMConfig()
+            )
+
+    def test_headers_include_bearer(self):
+        backend = OpenAICompatBackend(base_url="http://x.example/v1", api_key="sk-1")
+        assert backend._headers()["Authorization"] == "Bearer sk-1"
+
+    def test_headers_without_key(self):
+        backend = OpenAICompatBackend(base_url="http://x.example/v1")
+        assert "Authorization" not in backend._headers()

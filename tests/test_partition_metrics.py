@@ -1,0 +1,141 @@
+"""Unit + property tests for partition metrics and the beyond-θ analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ground_truth import score_mapping_against_truth
+from repro.metrics.partition import score_partition
+
+
+def clusters(*groups):
+    return [frozenset(g) for g in groups]
+
+
+class TestPerfectAndDegenerate:
+    def test_identical_partitions_score_one(self):
+        truth = clusters({1, 2}, {3}, {4, 5, 6})
+        scores = score_partition(truth, truth)
+        assert scores.pair_precision == 1.0
+        assert scores.pair_recall == 1.0
+        assert scores.pair_f1 == 1.0
+        assert scores.adjusted_rand == pytest.approx(1.0)
+        assert scores.v_measure == pytest.approx(1.0)
+
+    def test_all_singletons_vs_grouped(self):
+        truth = clusters({1, 2, 3})
+        predicted = clusters({1}, {2}, {3})
+        scores = score_partition(predicted, truth)
+        assert scores.pair_recall == 0.0
+        assert scores.pair_precision == 1.0  # no predicted pairs, vacuous
+        assert scores.homogeneity == 1.0  # singletons are pure
+        assert scores.completeness < 1.0
+
+    def test_one_big_blob(self):
+        truth = clusters({1, 2}, {3, 4})
+        predicted = clusters({1, 2, 3, 4})
+        scores = score_partition(predicted, truth)
+        assert scores.pair_recall == 1.0
+        assert scores.pair_precision == pytest.approx(2 / 6)
+        assert scores.completeness == 1.0
+        assert scores.homogeneity < 1.0
+
+    def test_empty_universe(self):
+        scores = score_partition([], [])
+        assert scores.pair_f1 == 0.0
+
+
+class TestPartialOverlap:
+    def test_split_cluster(self):
+        truth = clusters({1, 2, 3, 4})
+        predicted = clusters({1, 2}, {3, 4})
+        scores = score_partition(predicted, truth)
+        # Predicted pairs: (1,2) and (3,4); both correct.
+        assert scores.pair_precision == 1.0
+        assert scores.pair_recall == pytest.approx(2 / 6)
+
+    def test_wrong_merge_hurts_precision(self):
+        truth = clusters({1, 2}, {3, 4})
+        predicted = clusters({1, 3}, {2, 4})
+        scores = score_partition(predicted, truth)
+        assert scores.pair_precision == 0.0
+        assert scores.pair_recall == 0.0
+        assert scores.adjusted_rand < 0.1
+
+    def test_items_outside_truth_ignored(self):
+        truth = clusters({1, 2})
+        predicted = clusters({1, 2, 99})
+        scores = score_partition(predicted, truth)
+        assert scores.pair_precision == 1.0
+        assert scores.pair_recall == 1.0
+
+
+sizes = st.lists(
+    st.lists(st.integers(0, 99), min_size=1, max_size=6, unique=True),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _disjointify(groups):
+    seen = set()
+    result = []
+    for group in groups:
+        members = [g for g in group if g not in seen]
+        if members:
+            seen.update(members)
+            result.append(frozenset(members))
+    return result
+
+
+@given(sizes)
+def test_property_identity_scores_perfect(groups):
+    partition = _disjointify(groups)
+    scores = score_partition(partition, partition)
+    assert scores.pair_f1 in (0.0, pytest.approx(1.0)) or scores.pair_f1 == 1.0
+    assert scores.v_measure == pytest.approx(1.0)
+
+
+@given(sizes, sizes)
+def test_property_scores_bounded(a, b):
+    pa, pb = _disjointify(a), _disjointify(b)
+    # Restrict both to the common universe so recall is well defined.
+    universe = {x for g in pa for x in g} & {x for g in pb for x in g}
+    pa = [frozenset(g & universe) for g in pa if g & universe]
+    pb = [frozenset(g & universe) for g in pb if g & universe]
+    if not pa or not pb:
+        return
+    scores = score_partition(pa, pb)
+    for value in (
+        scores.pair_precision, scores.pair_recall, scores.pair_f1,
+        scores.homogeneity, scores.completeness, scores.v_measure,
+    ):
+        assert -1e-9 <= value <= 1.0 + 1e-9
+    assert -1.0 - 1e-9 <= scores.adjusted_rand <= 1.0 + 1e-9
+
+
+class TestAgainstUniverse:
+    def test_borges_beats_as2org_on_recall(
+        self, borges_mapping, as2org_mapping, universe
+    ):
+        truth = universe.ground_truth
+        borges_scores = score_mapping_against_truth(borges_mapping, truth)
+        as2org_scores = score_mapping_against_truth(as2org_mapping, truth)
+        # Borges recovers more true sibling pairs...
+        assert borges_scores.pair_recall > as2org_scores.pair_recall
+        # ...without a precision collapse (the merges are real).
+        assert borges_scores.pair_precision > 0.9
+
+    def test_as2org_is_high_precision(self, as2org_mapping, universe):
+        scores = score_mapping_against_truth(
+            as2org_mapping, universe.ground_truth
+        )
+        # WHOIS never merges unrelated orgs in the synthetic world.
+        assert scores.pair_precision == pytest.approx(1.0)
+
+    def test_v_measure_improves(self, borges_mapping, as2org_mapping, universe):
+        truth = universe.ground_truth
+        assert (
+            score_mapping_against_truth(borges_mapping, truth).v_measure
+            > score_mapping_against_truth(as2org_mapping, truth).v_measure
+        )

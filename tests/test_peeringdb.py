@@ -1,0 +1,153 @@
+"""Unit tests for the PeeringDB substrate: models, snapshot, JSON I/O."""
+
+import pytest
+
+from repro.errors import SchemaError, SnapshotError
+from repro.peeringdb import (
+    Network,
+    Organization,
+    PDBSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
+
+
+def make_snapshot():
+    orgs = [
+        Organization(org_id=1, name="Lumen Technologies", country="US"),
+        Organization(org_id=2, name="Acme ISP", country="AR"),
+    ]
+    nets = [
+        Network(asn=3356, name="Lumen", org_id=1, website="https://www.lumen.com/"),
+        Network(asn=209, name="CenturyLink", org_id=1, notes="part of Lumen AS3356"),
+        Network(asn=70001, name="Acme", org_id=2, aka="ACME (AS65553)"),
+    ]
+    return PDBSnapshot.build(orgs, nets, meta={"generated": "test"})
+
+
+class TestModels:
+    def test_network_validates_asn(self):
+        with pytest.raises(SchemaError):
+            Network(asn=0, name="x", org_id=1).validate()
+
+    def test_network_requires_name(self):
+        with pytest.raises(SchemaError):
+            Network(asn=1, name="", org_id=1).validate()
+
+    def test_network_requires_positive_org(self):
+        with pytest.raises(SchemaError):
+            Network(asn=1, name="x", org_id=0).validate()
+
+    def test_org_round_trip(self):
+        org = Organization(org_id=7, name="X", website="http://x.net", country="DE")
+        assert Organization.from_json(org.to_json()) == org
+
+    def test_org_preserves_extra_fields(self):
+        record = {"id": 1, "name": "X", "status": "ok"}
+        org = Organization.from_json(record)
+        assert org.extra == {"status": "ok"}
+        assert org.to_json()["status"] == "ok"
+
+    def test_net_round_trip(self):
+        net = Network(
+            asn=3356, name="Lumen", org_id=1, aka="Level3",
+            notes="formerly Level 3", website="https://www.lumen.com/",
+            info_type="NSP",
+        )
+        assert Network.from_json(net.to_json()) == net
+
+    def test_net_freeform_text_concatenates(self):
+        net = Network(asn=1, name="x", org_id=1, aka="alias", notes="note")
+        assert "alias" in net.freeform_text
+        assert "note" in net.freeform_text
+
+    def test_net_text_field_selector(self):
+        net = Network(asn=1, name="x", org_id=1, aka="a", notes="n")
+        assert net.text_field("aka") == "a"
+        assert net.text_field("notes") == "n"
+        with pytest.raises(ValueError):
+            net.text_field("bogus")
+
+    def test_has_website_ignores_whitespace(self):
+        assert not Network(asn=1, name="x", org_id=1, website="  ").has_website
+
+    def test_bad_json_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            Network.from_json({"name": "missing asn"})
+
+
+class TestSnapshot:
+    def test_build_indexes_both_ways(self):
+        snapshot = make_snapshot()
+        assert len(snapshot) == 3
+        assert 3356 in snapshot
+        assert snapshot.org_of(209).name == "Lumen Technologies"
+
+    def test_build_rejects_duplicate_asn(self):
+        orgs = [Organization(org_id=1, name="X")]
+        nets = [
+            Network(asn=1, name="a", org_id=1),
+            Network(asn=1, name="b", org_id=1),
+        ]
+        with pytest.raises(SchemaError):
+            PDBSnapshot.build(orgs, nets)
+
+    def test_build_rejects_dangling_org_reference(self):
+        with pytest.raises(SchemaError):
+            PDBSnapshot.build([], [Network(asn=1, name="a", org_id=9)])
+
+    def test_org_members_groups_by_org(self):
+        members = make_snapshot().org_members()
+        assert members[1] == [209, 3356]
+
+    def test_networks_iterates_in_asn_order(self):
+        asns = [n.asn for n in make_snapshot().networks()]
+        assert asns == sorted(asns)
+
+    def test_stats_counts(self):
+        stats = make_snapshot().stats()
+        assert stats["nets"] == 3
+        assert stats["orgs"] == 2
+        assert stats["nets_with_website"] == 1
+        assert stats["nets_with_text"] == 2
+        assert stats["nets_with_numeric_text"] == 2
+
+    def test_org_of_unknown_asn_raises(self):
+        with pytest.raises(SnapshotError):
+            make_snapshot().org_of(99999)
+
+    def test_nets_with_text(self):
+        assert {n.asn for n in make_snapshot().nets_with_text()} == {209, 70001}
+
+
+class TestSnapshotIO:
+    def test_json_round_trip(self, tmp_path):
+        snapshot = make_snapshot()
+        path = tmp_path / "snap.json"
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.meta == snapshot.meta
+        assert sorted(loaded.nets) == sorted(snapshot.nets)
+        assert loaded.nets[209].notes == snapshot.nets[209].notes
+
+    def test_gzip_round_trip(self, tmp_path):
+        snapshot = make_snapshot()
+        path = tmp_path / "snap.json.gz"
+        save_snapshot(snapshot, path)
+        assert load_snapshot(path).stats() == snapshot.stats()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "absent.json")
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_load_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"nets": []}')
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)

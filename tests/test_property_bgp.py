@@ -1,0 +1,86 @@
+"""Property-based tests for BGP propagation over random topologies.
+
+The invariant under test is the core of the substrate: every path the
+simulator emits over *any* valid (acyclic-p2c) topology must be
+loop-free and valley-free, and route preference must never pick a
+provider-learned route when a customer-learned one exists.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asrank import ASTopology
+from repro.asrank.bgp import is_valley_free, propagate_routes
+
+
+@st.composite
+def random_topology(draw):
+    """A random layered topology: p2c edges only point downward, so the
+    provider graph is a DAG by construction; plus random same-layer
+    peerings."""
+    n_layers = draw(st.integers(min_value=2, max_value=4))
+    layer_sizes = [
+        draw(st.integers(min_value=1, max_value=4)) for _ in range(n_layers)
+    ]
+    layers = []
+    asn = 10
+    for size in layer_sizes:
+        layers.append(list(range(asn, asn + size)))
+        asn += size
+    topology = ASTopology()
+    for node_list in layers:
+        for node in node_list:
+            topology.add_asn(node)
+    # Downward p2c edges between consecutive layers.
+    for upper, lower in zip(layers, layers[1:]):
+        for customer in lower:
+            n_providers = draw(
+                st.integers(min_value=1, max_value=min(2, len(upper)))
+            )
+            providers = draw(
+                st.permutations(upper).map(lambda p: p[:n_providers])
+            )
+            for provider in providers:
+                topology.add_p2c(provider, customer)
+    # Same-layer peerings.
+    for node_list in layers:
+        for i in range(0, len(node_list) - 1, 2):
+            if draw(st.booleans()):
+                topology.add_p2p(node_list[i], node_list[i + 1])
+    return topology
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_topology())
+def test_topology_generator_is_acyclic(topology):
+    topology.validate_acyclic()
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_topology(), st.data())
+def test_all_routes_valley_free_and_loop_free(topology, data):
+    asns = topology.asns()
+    origin = data.draw(st.sampled_from(asns))
+    table = propagate_routes(topology, origin)
+    for asn, (path, _relation) in table.items():
+        assert path[0] == asn and path[-1] == origin
+        assert len(path) == len(set(path)), "loop in path"
+        assert is_valley_free(topology, path), path
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_topology(), st.data())
+def test_customer_routes_preferred(topology, data):
+    """If an AS has a route via a direct customer edge to the origin, the
+    selected route must be customer-learned (the Gao-Rexford economic
+    preference)."""
+    asns = topology.asns()
+    origin = data.draw(st.sampled_from(asns))
+    table = propagate_routes(topology, origin)
+    for provider in topology.providers_of(origin):
+        entry = table.get(provider)
+        assert entry is not None
+        path, relation = entry
+        # The direct customer route has length 1; selection may pick an
+        # equally-preferred customer route but never peer/provider-learned.
+        assert relation == 0  # _FROM_CUSTOMER

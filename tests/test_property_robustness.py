@@ -1,0 +1,81 @@
+"""Robustness properties: hostile inputs must never crash the pipeline.
+
+Operators write anything into PeeringDB fields; the NER round trip (render
+prompt → simulated completion → parse → output filter) and the scraper
+must stay total functions over arbitrary text/URLs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import BorgesConfig
+from repro.core.ner import NERModule
+from repro.llm.extraction_engine import find_all_numbers
+from repro.llm.simulated import make_default_client
+from repro.peeringdb import Network
+from repro.web.scraper import HeadlessScraper
+from repro.web.simweb import SimulatedWeb
+
+# Exclude the template sentinels the prompt embeds fields between — an
+# operator cannot break the backend's field recovery without them.
+freeform_text = st.text(max_size=400).filter(
+    lambda s: "\n\nAKA:" not in s and "\n\nThe output should be" not in s
+)
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(freeform_text, freeform_text)
+def test_ner_round_trip_total_over_arbitrary_text(notes, aka):
+    """extract_record never raises and never hallucinates numbers."""
+    client = make_default_client()
+    ner = NERModule(client, BorgesConfig())
+    net = Network(asn=65552, name="fuzz", org_id=1, notes=notes, aka=aka)
+    result = ner.extract_record(net)
+    literal = set(find_all_numbers(net.freeform_text))
+    for sibling in result.siblings:
+        assert sibling in literal
+        assert sibling != net.asn
+
+
+@settings(max_examples=60)
+@given(st.text(max_size=120))
+def test_scraper_total_over_arbitrary_urls(url):
+    """resolve() never raises; failures surface in the result object."""
+    scraper = HeadlessScraper(SimulatedWeb())
+    result = scraper.resolve(url)
+    assert result.ok is False  # empty web: nothing resolves
+    assert result.error
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+        ),
+        max_size=8,
+    )
+)
+def test_scraper_terminates_on_arbitrary_redirect_graphs(edges):
+    """Any redirect topology (chains, loops, diamonds) terminates."""
+    web = SimulatedWeb()
+    targets = {}
+    for src, dst in edges:
+        if src != dst:
+            targets.setdefault(src, dst)
+    hosts = {h for pair in edges for h in pair}
+    for host in sorted(hosts):
+        full = f"www.{host}.example.com"
+        if host in targets:
+            web.add_redirect(
+                f"https://{full}/",
+                f"https://www.{targets[host]}.example.com/",
+            )
+        else:
+            web.add_page(f"https://{full}/")
+    scraper = HeadlessScraper(web)
+    for host in sorted(hosts):
+        result = scraper.resolve(f"https://www.{host}.example.com/")
+        # Terminates with either a final URL or a classified failure.
+        assert result.ok or result.error

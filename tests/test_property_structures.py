@@ -1,0 +1,127 @@
+"""Property-based tests for union-find, OrgMapping, URL handling, and the
+extraction engine's hallucination guard."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import OrgMapping
+from repro.core.merge import UnionFind, merge_clusters
+from repro.errors import URLError
+from repro.llm.extraction_engine import extract_siblings, find_all_numbers
+from repro.web.url import normalize_url, parse_url, registrable_domain
+
+asn_strategy = st.integers(min_value=1, max_value=60)
+cluster_strategy = st.frozensets(asn_strategy, min_size=1, max_size=8)
+cluster_list_strategy = st.lists(cluster_strategy, max_size=12)
+
+
+@given(cluster_list_strategy)
+def test_merge_produces_disjoint_partition(clusters):
+    merged = merge_clusters([clusters])
+    seen = set()
+    for cluster in merged:
+        assert not (cluster & seen)
+        seen |= cluster
+    assert seen == set().union(*clusters) if clusters else not seen
+
+
+@given(cluster_list_strategy)
+def test_merge_preserves_togetherness(clusters):
+    merged = merge_clusters([clusters])
+    index = {}
+    for i, cluster in enumerate(merged):
+        for asn in cluster:
+            index[asn] = i
+    for cluster in clusters:
+        members = sorted(cluster)
+        assert len({index[m] for m in members}) == 1
+
+
+@given(cluster_list_strategy, cluster_list_strategy)
+def test_merge_order_invariant(a, b):
+    one = {frozenset(c) for c in merge_clusters([a, b])}
+    two = {frozenset(c) for c in merge_clusters([b, a])}
+    assert one == two
+
+
+@given(st.lists(st.tuples(asn_strategy, asn_strategy), max_size=40))
+def test_unionfind_equivalence_relation(pairs):
+    forest = UnionFind()
+    for a, b in pairs:
+        forest.union(a, b)
+    # Symmetry + transitivity: connectivity matches group membership.
+    groups = forest.groups()
+    index = {}
+    for i, group in enumerate(groups):
+        for item in group:
+            index[item] = i
+    for a, b in pairs:
+        assert index[a] == index[b]
+
+
+@given(
+    st.frozensets(asn_strategy, min_size=1, max_size=40),
+    cluster_list_strategy,
+)
+def test_mapping_always_partitions_universe(universe, clusters):
+    mapping = OrgMapping(universe=universe, clusters=clusters)
+    covered = set()
+    for cluster in mapping.clusters():
+        assert cluster <= universe
+        assert not (cluster & covered)
+        covered |= cluster
+    assert covered == set(universe)
+
+
+@given(st.frozensets(asn_strategy, min_size=1, max_size=40), cluster_list_strategy)
+def test_mapping_sizes_sum_to_universe(universe, clusters):
+    mapping = OrgMapping(universe=universe, clusters=clusters)
+    assert sum(mapping.sizes()) == len(universe)
+
+
+_host_label = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,8}[a-z0-9])?", fullmatch=True)
+
+
+@given(st.lists(_host_label, min_size=2, max_size=4))
+def test_url_normalization_idempotent(labels):
+    url = "http://" + ".".join(labels) + "/path"
+    normalized = normalize_url(url)
+    assert normalize_url(normalized) == normalized
+
+
+@given(st.lists(_host_label, min_size=2, max_size=4))
+def test_registrable_domain_is_suffix_of_host(labels):
+    host = ".".join(labels)
+    domain = registrable_domain(host)
+    assert host.endswith(domain)
+
+
+@given(st.text(max_size=200))
+def test_parse_url_never_hangs_or_crashes_unexpectedly(text):
+    try:
+        parsed = parse_url(text)
+    except URLError:
+        return
+    assert parsed.host
+    assert parsed.scheme in ("http", "https")
+
+
+@given(st.text(max_size=300), st.integers(min_value=1, max_value=2**31))
+def test_extraction_never_invents_numbers(text, own_asn):
+    """The core anti-hallucination invariant: every extracted sibling is a
+    number literally present in the text and never the record's own ASN."""
+    result = extract_siblings(own_asn, text, "")
+    literal = set(find_all_numbers(text))
+    for asn in result.asns:
+        assert asn in literal
+        assert asn != own_asn
+
+
+@given(st.text(max_size=300))
+def test_find_all_numbers_matches_digit_runs(text):
+    numbers = find_all_numbers(text)
+    assert all(isinstance(n, int) and n >= 0 for n in numbers)
+    # ASCII digits must always be found (str.isdigit also accepts
+    # superscripts etc., which the ASN regexes rightly ignore).
+    if any(ch in "0123456789" for ch in text):
+        assert numbers

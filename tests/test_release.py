@@ -1,0 +1,53 @@
+"""Tests for publishing mappings in CAIDA's as2org format."""
+
+import pytest
+
+from repro.core.release import mapping_to_whois_dataset, save_mapping_as2org
+from repro.whois import load_as2org_file
+
+
+class TestMappingExport:
+    def test_one_org_per_cluster(self, borges_mapping, universe):
+        dataset = mapping_to_whois_dataset(borges_mapping, universe.whois)
+        assert len(dataset.orgs) == len(borges_mapping)
+        assert len(dataset) == borges_mapping.universe_size
+
+    def test_cluster_members_share_the_released_org(
+        self, borges_mapping, universe
+    ):
+        dataset = mapping_to_whois_dataset(borges_mapping, universe.whois)
+        for cluster in borges_mapping.multi_asn_clusters()[:50]:
+            members = sorted(cluster)
+            org_ids = {dataset.org_id_of(asn) for asn in members}
+            assert len(org_ids) == 1
+            assert org_ids.pop() == f"BORGES-{members[0]}"
+
+    def test_names_carried_from_mapping(self, borges_mapping, universe):
+        dataset = mapping_to_whois_dataset(borges_mapping, universe.whois)
+        from repro.universe.canonical import AS_LUMEN
+
+        released = dataset.org_name_of(AS_LUMEN)
+        assert released == borges_mapping.org_name_of(AS_LUMEN)
+
+    def test_round_trip_through_caida_file(
+        self, tmp_path, borges_mapping, universe
+    ):
+        path = tmp_path / "borges_as2org.jsonl.gz"
+        save_mapping_as2org(borges_mapping, universe.whois, path)
+        loaded = load_as2org_file(path)
+        assert loaded.asns() == universe.whois.asns()
+        # The reloaded file reproduces exactly the mapping's clustering.
+        for cluster in borges_mapping.multi_asn_clusters()[:25]:
+            members = sorted(cluster)
+            assert loaded.siblings_of(members[0]) == set(members)
+
+    def test_reloaded_theta_matches(self, tmp_path, borges_mapping, universe):
+        from repro.baselines import build_as2org_mapping
+        from repro.metrics import org_factor_from_mapping
+
+        path = tmp_path / "release.jsonl"
+        save_mapping_as2org(borges_mapping, universe.whois, path)
+        reloaded_mapping = build_as2org_mapping(load_as2org_file(path))
+        assert org_factor_from_mapping(reloaded_mapping) == pytest.approx(
+            org_factor_from_mapping(borges_mapping)
+        )

@@ -1,0 +1,102 @@
+"""Final isolated-unit batch: small helpers not yet directly exercised."""
+
+import pytest
+
+from repro.experiments.svg import _axis_ticks, _scale
+from repro.llm.usage import TokenUsage
+from repro.metrics.growth import baseline_components
+from repro.metrics.partition import score_partition
+from repro.universe.events import EventKind, MnAEvent, Timeline
+from repro.universe.names import REGION_LANGUAGES, NameForge
+
+
+class TestSvgInternals:
+    def test_scale_endpoints(self):
+        assert _scale(0, 0, 10, 100, 200) == 100
+        assert _scale(10, 0, 10, 100, 200) == 200
+
+    def test_scale_inverted_output_range(self):
+        # SVG y-axes grow downward: out_lo > out_hi must work.
+        assert _scale(5, 0, 10, 300, 100) == 200
+
+    def test_scale_degenerate_domain(self):
+        assert _scale(5, 5, 5, 0, 100) == 0  # span defaults to 1
+
+    def test_axis_ticks_span(self):
+        ticks = _axis_ticks(0.0, 100.0, count=5)
+        assert ticks[0] == 0.0
+        assert ticks[-1] == 100.0
+        assert len(ticks) == 5
+
+    def test_axis_ticks_flat_domain(self):
+        ticks = _axis_ticks(7.0, 7.0)
+        assert ticks[0] == 7.0
+
+
+class TestTokenUsageEdge:
+    def test_zero_usage_costs_nothing(self):
+        assert TokenUsage().cost_usd() == 0.0
+
+    def test_custom_prices(self):
+        usage = TokenUsage(prompt_tokens=0, completion_tokens=1_000_000)
+        assert usage.cost_usd(completion_per_million=2.0) == pytest.approx(2.0)
+
+
+class TestTimelineQueries:
+    def test_acquisitions_into(self):
+        timeline = Timeline(
+            events=[
+                MnAEvent(EventKind.ACQUISITION, 2016, "lumen", "level3"),
+                MnAEvent(EventKind.MERGER, 2022, "edgio", "edgecast"),
+                MnAEvent(EventKind.SPINOFF, 2022, "lumen", "cirion"),
+            ]
+        )
+        into_lumen = timeline.acquisitions_into("lumen")
+        assert len(into_lumen) == 1
+        assert into_lumen[0].object_id == "level3"
+
+    def test_spinoff_describe(self):
+        event = MnAEvent(EventKind.SPINOFF, 2022, "lumen", "cirion")
+        assert "spins off" in event.describe()
+
+    def test_rebrand_describe(self):
+        event = MnAEvent(
+            EventKind.REBRAND, 2020, "lumen", "centurylink", new_name="Lumen"
+        )
+        text = event.describe()
+        assert "rebrands" in text and "Lumen" in text
+
+    def test_len(self):
+        assert len(Timeline(events=[])) == 0
+
+
+class TestNameForgeLanguages:
+    def test_language_matches_region_table(self):
+        forge = NameForge(seed=3)
+        for region, languages in REGION_LANGUAGES.items():
+            for _ in range(10):
+                assert forge.language_for(region) in languages
+
+    def test_unknown_region_defaults_english(self):
+        forge = NameForge(seed=3)
+        assert forge.language_for("atlantis") == "en"
+
+
+class TestMetricEdges:
+    def test_baseline_components_identity(self):
+        cluster = frozenset({1, 2})
+        components = baseline_components(cluster, lambda asn: cluster)
+        assert components == [cluster]
+
+    def test_v_measure_single_cluster_both_sides(self):
+        scores = score_partition([frozenset({1, 2, 3})], [frozenset({1, 2, 3})])
+        assert scores.v_measure == pytest.approx(1.0)
+        assert scores.adjusted_rand == pytest.approx(1.0)
+
+    def test_homogeneity_degenerate_truth(self):
+        # Truth is one blob: homogeneity is vacuously perfect for any
+        # prediction (h_truth == 0 branch).
+        scores = score_partition(
+            [frozenset({1}), frozenset({2, 3})], [frozenset({1, 2, 3})]
+        )
+        assert scores.homogeneity == 1.0

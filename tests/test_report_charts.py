@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer used by figure experiments."""
+
+from repro.experiments.report import Report, render_ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        chart = render_ascii_chart([1, 2, 3, 4], [1, 2, 3, 4], width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 6  # 5 rows + footer (no title header)
+        assert lines[-1].startswith("  +")
+
+    def test_monotone_series_monotone_columns(self):
+        chart = render_ascii_chart(
+            list(range(50)), list(range(50)), width=25, height=6, title="t"
+        )
+        rows = [line[3:] for line in chart.splitlines()[1:-1]]
+        # In each row the filled region is a suffix (rising line).
+        for row in rows:
+            stripped = row.rstrip()
+            filled = stripped.lstrip(" ")
+            assert " " not in filled
+
+    def test_flat_series(self):
+        chart = render_ascii_chart([1, 2, 3], [5, 5, 5], width=10, height=4)
+        assert "█" in chart
+
+    def test_too_few_points(self):
+        assert render_ascii_chart([1], [1]) == "(chart unavailable)"
+
+    def test_mismatched_lengths(self):
+        assert render_ascii_chart([1, 2], [1]) == "(chart unavailable)"
+
+    def test_title_and_range_in_header(self):
+        chart = render_ascii_chart(
+            [0, 1], [10, 90], width=8, height=3, title="growth"
+        )
+        assert "growth" in chart
+        assert "10" in chart and "90" in chart
+
+
+class TestReportChartIntegration:
+    def test_series_rendered_as_chart(self):
+        report = Report(
+            experiment_id="x", title="T",
+            series={"s": ([1.0, 2.0, 3.0], [1.0, 4.0, 9.0])},
+        )
+        text = report.render()
+        assert "█" in text
+
+    def test_charts_can_be_disabled(self):
+        report = Report(
+            experiment_id="x", title="T",
+            series={"s": ([1.0, 2.0, 3.0], [1.0, 4.0, 9.0])},
+        )
+        assert "█" not in report.render(charts=False)

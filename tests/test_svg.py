@@ -1,0 +1,125 @@
+"""Tests for the dependency-free SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.report import Report
+from repro.experiments.svg import (
+    bar_chart_svg,
+    line_chart_svg,
+    report_to_svg,
+    save_report_svg,
+)
+
+
+def parse_svg(text: str) -> ET.Element:
+    """Well-formedness check: SVG must parse as XML."""
+    return ET.fromstring(text)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart_svg({"s": ([1, 2, 3], [1, 4, 9])}, title="T")
+        root = parse_svg(svg)
+        assert root.tag.endswith("svg")
+
+    def test_polyline_per_series(self):
+        svg = line_chart_svg(
+            {"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}
+        )
+        assert svg.count("<polyline") == 2
+
+    def test_title_escaped(self):
+        svg = line_chart_svg({"s": ([0, 1], [0, 1])}, title="a < b & c")
+        parse_svg(svg)
+        assert "a &lt; b &amp; c" in svg
+
+    def test_large_series_decimated(self):
+        xs = list(range(10_000))
+        svg = line_chart_svg({"big": (xs, xs)}, max_points=100)
+        points = svg.split('points="')[1].split('"')[0]
+        assert len(points.split()) <= 102
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+
+    def test_axis_labels(self):
+        svg = line_chart_svg(
+            {"s": ([0, 1], [0, 1])}, x_label="rank", y_label="growth"
+        )
+        assert "rank" in svg and "growth" in svg
+
+
+class TestBarChart:
+    ROWS = [
+        {"name": "EdgeCast", "a": 4, "b": 13},
+        {"name": "Google", "a": 20, "b": 23},
+    ]
+
+    def test_valid_xml(self):
+        svg = bar_chart_svg(self.ROWS, "name", ("a", "b"), title="Fig 9")
+        parse_svg(svg)
+
+    def test_bar_count(self):
+        svg = bar_chart_svg(self.ROWS, "name", ("a", "b"))
+        # 2 groups x 2 keys = 4 value bars (+1 frame rect).
+        assert svg.count("<rect") == 4 + 1 + 1  # + background
+
+    def test_labels_present(self):
+        svg = bar_chart_svg(self.ROWS, "name", ("a", "b"))
+        assert "EdgeCast" in svg and "Google" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg([], "name", ("a",))
+
+
+class TestReportToSVG:
+    def test_series_report_becomes_line_chart(self):
+        report = Report(
+            experiment_id="fig8", title="F",
+            series={"cumulative_growth": ([1.0, 2.0], [0.0, 5.0])},
+        )
+        svg = report_to_svg(report)
+        assert svg and "<polyline" in svg
+
+    def test_fig9_report_becomes_bar_chart(self):
+        report = Report(
+            experiment_id="fig9", title="F9",
+            rows=[{"hypergiant": "X", "as2org": 1, "as2org_plus": 1,
+                   "borges": 2, "asn": 5, "gain_vs_as2org": 1}],
+        )
+        svg = report_to_svg(report)
+        assert svg and "<rect" in svg
+
+    def test_plain_table_report_has_no_svg(self):
+        report = Report(experiment_id="table3", title="T", rows=[{"a": 1}])
+        assert report_to_svg(report) is None
+
+    def test_save_report_svg(self, tmp_path):
+        report = Report(
+            experiment_id="fig7", title="F7",
+            series={"s": ([1.0, 2.0], [1.0, 2.0])},
+        )
+        path = save_report_svg(report, tmp_path / "figs")
+        assert path is not None and path.exists()
+        parse_svg(path.read_text())
+
+    def test_save_skips_undrawable(self, tmp_path):
+        report = Report(experiment_id="table3", title="T", rows=[{"a": 1}])
+        assert save_report_svg(report, tmp_path) is None
+
+
+class TestCLIIntegration:
+    def test_experiment_svg_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "figs"
+        assert main(
+            ["--seed", "7", "--orgs", "400", "experiment", "fig9",
+             "--svg-dir", str(out)]
+        ) == 0
+        assert (out / "fig9.svg").exists()
+        parse_svg((out / "fig9.svg").read_text())

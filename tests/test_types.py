@@ -1,0 +1,91 @@
+"""Unit tests for repro.types: ASN validation and cluster helpers."""
+
+import pytest
+
+from repro.types import (
+    clusters_to_asn_map,
+    freeze_cluster,
+    invert_asn_map,
+    is_reserved_asn,
+    is_valid_asn,
+    jaccard,
+    partition_sizes,
+    validate_asn,
+)
+
+
+class TestASNValidation:
+    def test_ordinary_asn_is_valid(self):
+        assert is_valid_asn(3356)
+
+    def test_32bit_asn_is_valid(self):
+        assert is_valid_asn(262287)
+        assert is_valid_asn(4_199_999_999)
+
+    def test_zero_is_invalid(self):
+        assert not is_valid_asn(0)
+
+    def test_negative_is_invalid(self):
+        assert not is_valid_asn(-5)
+
+    def test_too_large_is_invalid(self):
+        assert not is_valid_asn(2**32)
+
+    def test_bool_is_not_an_asn(self):
+        assert not is_valid_asn(True)
+
+    def test_as_trans_is_reserved(self):
+        assert is_reserved_asn(23456)
+        assert not is_valid_asn(23456)
+
+    def test_private_range_is_reserved(self):
+        assert is_reserved_asn(64512)
+        assert is_reserved_asn(65534)
+        assert is_reserved_asn(4_200_000_000)
+
+    def test_documentation_range_is_reserved(self):
+        assert is_reserved_asn(64496)
+        assert is_reserved_asn(65551)
+
+    def test_edges_of_private_range(self):
+        assert not is_valid_asn(65535)
+        assert is_valid_asn(65552)
+
+    def test_validate_asn_passes_through(self):
+        assert validate_asn(15169) == 15169
+
+    def test_validate_asn_raises(self):
+        with pytest.raises(ValueError):
+            validate_asn(0)
+
+
+class TestClusterHelpers:
+    def test_freeze_cluster_dedupes(self):
+        assert freeze_cluster([1, 2, 2, 3]) == frozenset({1, 2, 3})
+
+    def test_clusters_to_asn_map(self):
+        a = frozenset({1, 2})
+        b = frozenset({3})
+        index = clusters_to_asn_map([a, b])
+        assert index[1] is a
+        assert index[3] is b
+
+    def test_clusters_to_asn_map_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            clusters_to_asn_map([frozenset({1, 2}), frozenset({2, 3})])
+
+    def test_partition_sizes_sorted_descending(self):
+        assert partition_sizes([[1], [2, 3, 4], [5, 6]]) == [3, 2, 1]
+
+    def test_jaccard_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_invert_asn_map(self):
+        inverted = invert_asn_map({1: "a", 2: "a", 3: "b"})
+        assert inverted == {"a": {1, 2}, "b": {3}}

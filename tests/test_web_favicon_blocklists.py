@@ -1,0 +1,96 @@
+"""Unit tests for the favicon API client and the Appendix-D blocklists."""
+
+from repro.web.blocklists import (
+    FINAL_URL_BLOCKLIST,
+    SUBDOMAIN_BLOCKLIST,
+    is_blocked_brand,
+    is_blocked_final_url,
+)
+from repro.web.favicon import FaviconAPI
+from repro.web.simweb import SimulatedWeb, make_favicon
+
+
+def make_web():
+    web = SimulatedWeb()
+    web.add_page("https://www.clarochile.cl/", favicon_brand="claro")
+    web.add_page("https://www.claropr.com/", favicon_brand="claro")
+    web.add_page("https://www.orange.es/", favicon_brand="orange")
+    web.add_page("https://noicon.example.com/")
+    return web
+
+
+class TestFaviconAPI:
+    def test_fetch_returns_icon(self):
+        api = FaviconAPI(make_web())
+        record = api.fetch("https://www.orange.es/")
+        assert record is not None
+        assert record.content == make_favicon("orange")
+
+    def test_fetch_none_for_missing_icon(self):
+        api = FaviconAPI(make_web())
+        assert api.fetch("https://noicon.example.com/") is None
+
+    def test_fetch_none_for_unknown_host(self):
+        api = FaviconAPI(make_web())
+        assert api.fetch("https://ghost.example.com/") is None
+
+    def test_fetch_none_for_bad_url(self):
+        api = FaviconAPI(make_web())
+        assert api.fetch("???") is None
+
+    def test_per_host_caching(self):
+        api = FaviconAPI(make_web())
+        api.fetch("https://www.orange.es/")
+        api.fetch("https://www.orange.es/other-page")
+        assert api.request_count == 1
+
+    def test_group_by_favicon(self):
+        api = FaviconAPI(make_web())
+        groups = api.group_by_favicon(
+            [
+                "https://www.clarochile.cl/",
+                "https://www.claropr.com/",
+                "https://www.orange.es/",
+                "https://noicon.example.com/",
+            ]
+        )
+        sizes = sorted(len(urls) for urls in groups.values())
+        assert sizes == [1, 2]  # claro pair + orange alone; no-icon dropped
+
+    def test_request_url_shape(self):
+        api = FaviconAPI(make_web())
+        url = api.request_url("https://www.orange.fr")
+        assert "faviconV2" in url
+        assert "www.orange.fr" in url
+
+
+class TestBlocklists:
+    def test_paper_table10_entries_present(self):
+        for token in ("myspace", "github", "facebook", "peeringdb", "he"):
+            assert token in SUBDOMAIN_BLOCKLIST
+
+    def test_paper_table11_entries_present(self):
+        for domain in (
+            "example.com", "github.com", "linkedin.com",
+            "facebook.com", "discord.com",
+        ):
+            assert domain in FINAL_URL_BLOCKLIST
+
+    def test_blocked_final_url(self):
+        assert is_blocked_final_url("https://github.com/someoperator")
+        assert is_blocked_final_url("https://www.facebook.com/ispname")
+
+    def test_unblocked_final_url(self):
+        assert not is_blocked_final_url("https://www.lumen.com/")
+
+    def test_blocked_brand(self):
+        assert is_blocked_brand("https://www.facebook.com/x")
+        assert is_blocked_brand("https://bgp.tools/as/3356")
+
+    def test_unblocked_brand(self):
+        assert not is_blocked_brand("https://www.orange.es/")
+
+    def test_garbage_urls_treated_as_blocked(self):
+        # Unparsable URLs must never become grouping evidence.
+        assert is_blocked_final_url("http://bad host/path")
+        assert is_blocked_brand("http://bad host/path")

@@ -1,0 +1,114 @@
+"""Unit tests for URL parsing, normalization and brand-label extraction."""
+
+import pytest
+
+from repro.errors import URLError
+from repro.web.url import (
+    brand_label,
+    host_of,
+    normalize_url,
+    parse_url,
+    public_suffix,
+    registrable_domain,
+    same_brand,
+)
+
+
+class TestParseURL:
+    def test_plain_http(self):
+        parsed = parse_url("http://www.example.com/path")
+        assert parsed.scheme == "http"
+        assert parsed.host == "www.example.com"
+        assert parsed.path == "/path"
+
+    def test_missing_scheme_defaults_http(self):
+        assert parse_url("www.example.com").scheme == "http"
+
+    def test_host_lowered(self):
+        assert parse_url("HTTPS://WWW.Example.COM/").host == "www.example.com"
+
+    def test_strips_port_and_userinfo(self):
+        assert parse_url("http://user@www.example.com:8080/x").host == (
+            "www.example.com"
+        )
+
+    def test_strips_query_and_fragment(self):
+        assert parse_url("http://a.example.com/x?q=1#frag").path == "/x"
+
+    def test_empty_raises(self):
+        with pytest.raises(URLError):
+            parse_url("   ")
+
+    def test_undotted_host_raises(self):
+        with pytest.raises(URLError):
+            parse_url("http://localhost/")
+
+    def test_bad_label_raises(self):
+        with pytest.raises(URLError):
+            parse_url("http://exa$mple.com/")
+
+    def test_unsupported_scheme_raises(self):
+        with pytest.raises(URLError):
+            parse_url("ftp://files.example.com/")
+
+    def test_url_property_round_trips(self):
+        assert parse_url("example.com").url == "http://example.com/"
+
+
+class TestNormalize:
+    def test_idempotent(self):
+        url = normalize_url("Example.COM/a?b#c")
+        assert normalize_url(url) == url
+
+    def test_trailing_root(self):
+        assert normalize_url("https://example.com") == "https://example.com/"
+
+
+class TestDomains:
+    def test_public_suffix_simple(self):
+        assert public_suffix("www.example.com") == "com"
+
+    def test_public_suffix_two_level(self):
+        assert public_suffix("www.claro.com.pe") == "com.pe"
+
+    def test_public_suffix_three_level(self):
+        assert public_suffix("bapenda.riau.go.id") == "riau.go.id"
+
+    def test_registrable_domain(self):
+        assert registrable_domain("www.claro.com.pe") == "claro.com.pe"
+
+    def test_registrable_domain_from_url(self):
+        assert registrable_domain("https://www.orange.es/x") == "orange.es"
+
+    def test_registrable_domain_bare_suffix(self):
+        assert registrable_domain("com.pe") == "com.pe"
+
+    def test_hrvatski_telekom_case(self):
+        # The paper's example: http://www.t.ht.hr (Hrvatski Telekom).
+        assert registrable_domain("http://www.t.ht.hr") == "t.ht.hr"
+        assert brand_label("http://www.t.ht.hr") == "t"
+
+
+class TestBrandLabel:
+    def test_orange_brands_match(self):
+        # The §4.3.3 example: www.orange.es and www.orange.pl.
+        assert brand_label("https://www.orange.es/") == "orange"
+        assert same_brand("https://www.orange.es/", "http://www.orange.pl/")
+
+    def test_claro_variants_differ(self):
+        # www.clarochile.cl vs www.claropr.com: different tokens.
+        assert brand_label("https://www.clarochile.cl/") == "clarochile"
+        assert not same_brand(
+            "https://www.clarochile.cl/", "https://www.claropr.com/"
+        )
+
+    def test_same_brand_tolerates_garbage(self):
+        assert not same_brand("", "https://www.orange.es/")
+
+
+class TestHostOf:
+    def test_extracts_host(self):
+        assert host_of("https://x.example.org/path") == "x.example.org"
+
+    def test_none_for_garbage(self):
+        assert host_of(":::") is None
