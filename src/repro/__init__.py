@@ -17,8 +17,9 @@ Quickstart::
 The package layout mirrors the system: substrates (``peeringdb``,
 ``whois``, ``web``, ``llm``, ``apnic``, ``asrank``), the synthetic-world
 generator (``universe``), the baselines (``baselines``), the Borges core
-(``core``), metrics and analyses (``metrics``, ``analysis``), and the
-experiment harness (``experiments``).
+(``core``), metrics and analyses (``metrics``, ``analysis``), the
+experiment harness (``experiments``), and the observability layer
+(``obs``: metrics registry, span tracing, run manifests).
 """
 
 from .config import (

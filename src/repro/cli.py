@@ -26,6 +26,7 @@ from .core import BorgesPipeline
 from .experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from .logutil import setup_logging
 from .metrics import org_factor_from_mapping
+from .obs import build_manifest, get_registry, get_tracer, write_manifest
 from .peeringdb import save_snapshot
 from .universe import generate_universe
 from .whois import save_as2org_file
@@ -39,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     parser.add_argument(
         "-v", "--verbose", action="store_true", help="debug logging"
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON run manifest (spans, metrics, LLM usage) here",
     )
     parser.add_argument(
         "--seed", type=int, default=42, help="universe seed (default 42)"
@@ -103,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("compare", help="theta for all methods side by side")
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="run the pipeline and print a per-stage telemetry summary",
+    )
+    telemetry.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print metrics in Prometheus text format",
+    )
+
     sub.add_parser(
         "evolution", help="longitudinal study: theta/orgs per historical year"
     )
@@ -165,6 +183,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         whois, pdb, web = universe.whois, universe.pdb, universe.web
         pipeline = BorgesPipeline(whois, pdb, web, config)
     result = pipeline.run()
+    _RUN_ARTIFACTS.update(
+        config=pipeline.config, result=result, client=pipeline.client
+    )
     print(f"method: {result.mapping.method}")
     for row in result.feature_table():
         print(f"  {row['source']:>10}: {row['asns']:>7,} ASes, {row['orgs']:>7,} orgs")
@@ -176,6 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"llm usage: {pipeline.client.request_count} requests, "
         f"{usage.total_tokens:,} tokens (~${usage.cost_usd():.4f})"
     )
+    print(_cache_summary_line(result.diagnostics.get("llm_cache", {})))
     if args.save_mapping:
         result.mapping.save(args.save_mapping)
         print(f"mapping saved to {args.save_mapping}")
@@ -200,6 +222,55 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             if path is not None:
                 print(f"svg written to {path}")
         print()
+    return 0
+
+
+#: Artifacts the last command produced, for the --telemetry-out manifest.
+_RUN_ARTIFACTS: dict = {}
+
+
+def _cache_summary_line(stats: dict) -> str:
+    hits = int(stats.get("hits", 0))
+    misses = int(stats.get("misses", 0))
+    lookups = hits + misses
+    rate = 100.0 * hits / lookups if lookups else 0.0
+    return (
+        f"llm cache: {hits:,} hits, {misses:,} misses "
+        f"({rate:.1f}% hit rate, {int(stats.get('entries', 0)):,} entries)"
+    )
+
+
+def _print_span_tree(spans, indent: int = 0) -> None:
+    for span in spans:
+        print(f"  {'  ' * indent}{span.name:<{30 - 2 * indent}} "
+              f"{span.duration * 1000:>9.1f} ms  [{span.status}]")
+        _print_span_tree(span.children, indent + 1)
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    universe = generate_universe(_universe_config(args))
+    pipeline = BorgesPipeline(universe.whois, universe.pdb, universe.web)
+    result = pipeline.run()
+    _RUN_ARTIFACTS.update(
+        config=pipeline.config, result=result, client=pipeline.client
+    )
+    print("stage timings:")
+    _print_span_tree(get_tracer().spans())
+    usage = pipeline.client.total_usage
+    print(
+        f"llm usage: {pipeline.client.request_count} requests, "
+        f"{usage.prompt_tokens:,} prompt + {usage.completion_tokens:,} "
+        f"completion tokens (~${usage.cost_usd():.4f})"
+    )
+    print(_cache_summary_line(pipeline.client.cache_stats()))
+    print(f"organizations: {len(result.mapping):,}")
+    registry = get_registry()
+    print(f"metric families: {len(registry.families())}")
+    if args.prometheus:
+        from .obs import render_prometheus
+
+        print()
+        print(render_prometheus(registry), end="")
     return 0
 
 
@@ -289,13 +360,32 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "evolution": _cmd_evolution,
     "explain": _cmd_explain,
+    "telemetry": _cmd_telemetry,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(logging.DEBUG if args.verbose else logging.WARNING)
-    return _COMMANDS[args.command](args)
+    _RUN_ARTIFACTS.clear()
+    status = _COMMANDS[args.command](args)
+    if args.telemetry_out is not None:
+        manifest = build_manifest(
+            config=_RUN_ARTIFACTS.get("config"),
+            result=_RUN_ARTIFACTS.get("result"),
+            client=_RUN_ARTIFACTS.get("client"),
+        )
+        try:
+            path = write_manifest(args.telemetry_out, manifest)
+        except OSError as exc:
+            print(
+                f"error: cannot write telemetry manifest to "
+                f"{args.telemetry_out}: {exc}",
+                file=sys.stderr,
+            )
+            return status or 1
+        print(f"telemetry manifest written to {path}")
+    return status
 
 
 if __name__ == "__main__":

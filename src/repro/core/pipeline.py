@@ -21,7 +21,9 @@ from ..config import (
 )
 from ..llm.client import ChatClient
 from ..llm.simulated import make_default_client
-from ..logutil import get_logger, timed
+from ..logutil import get_logger
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.tracer import Tracer, get_tracer
 from ..peeringdb import PDBSnapshot
 from ..types import ASN, Cluster
 from ..web.favicon import FaviconAPI
@@ -67,6 +69,9 @@ class BorgesResult:
     features: Dict[str, FeatureClusters] = field(default_factory=dict)
     ner_results: List[NERRecordResult] = field(default_factory=list)
     web_result: Optional[WebInferenceResult] = None
+    #: Run-level accounting (LLM cache hits, scraper stats, NER counters)
+    #: for the CLI summary and the telemetry manifest.
+    diagnostics: Dict[str, object] = field(default_factory=dict)
 
     def feature_table(self) -> List[Dict[str, object]]:
         """Rows shaped like Table 3 (source, #ASes, #orgs)."""
@@ -100,16 +105,23 @@ class BorgesPipeline:
         web: SimulatedWeb,
         config: Optional[BorgesConfig] = None,
         client: Optional[ChatClient] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._whois = whois
         self._pdb = pdb
         self._config = (config or BorgesConfig()).validate()
         self._client = client or make_default_client(self._config.llm)
-        self._scraper = HeadlessScraper(web, config=self._config.scraper)
-        self._favicon_api = FaviconAPI(web)
+        self._tracer = tracer
+        self._registry = registry
+        self._scraper = HeadlessScraper(
+            web, config=self._config.scraper, registry=registry
+        )
+        self._favicon_api = FaviconAPI(web, registry=registry)
         self._ner = NERModule(self._client, self._config)
         self._web_module = WebInferenceModule(
-            self._scraper, self._favicon_api, self._client, self._config
+            self._scraper, self._favicon_api, self._client, self._config,
+            tracer=tracer, registry=registry,
         )
 
     @property
@@ -120,31 +132,52 @@ class BorgesPipeline:
     def client(self) -> ChatClient:
         return self._client
 
+    @property
+    def _spans(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
     def run(self) -> BorgesResult:
         """Execute every enabled feature and consolidate."""
+        with self._spans.span(
+            "pipeline.run", features=sorted(self._config.features)
+        ):
+            return self._run_features()
+
+    def _run_features(self) -> BorgesResult:
         config = self._config
-        features: Dict[str, FeatureClusters] = {
-            "oid_w": FeatureClusters("oid_w", oid_w_clusters(self._whois)),
-        }
+        spans = self._spans
+        features: Dict[str, FeatureClusters] = {}
+        with spans.span("feature.oid_w"):
+            features["oid_w"] = FeatureClusters(
+                "oid_w", oid_w_clusters(self._whois)
+            )
         ner_results: List[NERRecordResult] = []
         web_result: Optional[WebInferenceResult] = None
 
         if config.has(FEATURE_OID_P):
-            with timed(_LOG, "oid_p clustering"):
+            with spans.span("feature.oid_p"):
                 features[FEATURE_OID_P] = FeatureClusters(
                     FEATURE_OID_P, oid_p_clusters(self._pdb)
                 )
         if config.has(FEATURE_NOTES_AKA):
-            with timed(_LOG, "notes/aka extraction"):
+            with spans.span("feature.notes_aka") as span:
                 ner_results = self._ner.run(self._pdb)
                 features[FEATURE_NOTES_AKA] = FeatureClusters(
                     FEATURE_NOTES_AKA, self._ner.clusters(ner_results)
                 )
-        if config.has(FEATURE_RR) or config.has(FEATURE_FAVICONS):
-            with timed(_LOG, "web inference"):
-                web_result = self._web_module.run(
-                    self._pdb, favicons=config.has(FEATURE_FAVICONS)
+                span.set_attribute(
+                    "records_queried", self._ner.stats.records_queried
                 )
+        if config.has(FEATURE_RR) or config.has(FEATURE_FAVICONS):
+            # WebInferenceModule opens the feature.rr/feature.favicons
+            # spans itself (the scrape stage is shared between them).
+            web_result = self._web_module.run(
+                self._pdb, favicons=config.has(FEATURE_FAVICONS)
+            )
             if config.has(FEATURE_RR):
                 features[FEATURE_RR] = FeatureClusters(
                     FEATURE_RR, web_result.rr_clusters
@@ -154,13 +187,37 @@ class BorgesPipeline:
                     FEATURE_FAVICONS, web_result.favicon_clusters
                 )
 
-        mapping = self.build_mapping(features)
+        with spans.span("pipeline.merge") as span:
+            mapping = self.build_mapping(features)
+            span.set_attribute("orgs", len(mapping))
+        for name, feature in features.items():
+            self._metrics.gauge(
+                "pipeline_feature_clusters", "clusters emitted per feature",
+                feature=name,
+            ).set(len(feature.clusters))
+        self._metrics.gauge(
+            "pipeline_orgs", "organizations after consolidation"
+        ).set(len(mapping))
         return BorgesResult(
             mapping=mapping,
             features=features,
             ner_results=ner_results,
             web_result=web_result,
+            diagnostics=self._diagnostics(web_result),
         )
+
+    def _diagnostics(
+        self, web_result: Optional[WebInferenceResult]
+    ) -> Dict[str, object]:
+        diagnostics: Dict[str, object] = {
+            "llm_cache": self._client.cache_stats(),
+            "llm_requests": self._client.request_count,
+            "scraper": self._scraper.stats(),
+            "ner": dict(vars(self._ner.stats)),
+        }
+        if web_result is not None:
+            diagnostics["web"] = dict(vars(web_result.stats))
+        return diagnostics
 
     def build_mapping(
         self, features: Dict[str, FeatureClusters]

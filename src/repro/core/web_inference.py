@@ -22,6 +22,8 @@ from ..logutil import get_logger
 from ..llm.client import ChatClient
 from ..llm.parsing import parse_classifier_reply
 from ..llm.prompts import render_classifier_messages
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.tracer import Tracer, get_tracer
 from ..peeringdb import PDBSnapshot
 from ..types import ASN, Cluster, FaviconHash, URL
 from ..web.blocklists import is_blocked_brand, is_blocked_final_url
@@ -80,11 +82,23 @@ class WebInferenceModule:
         favicon_api: FaviconAPI,
         client: ChatClient,
         config: Optional[BorgesConfig] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._scraper = scraper
         self._favicons = favicon_api
         self._client = client
         self._config = (config or BorgesConfig()).validate()
+        self._tracer = tracer
+        self._registry = registry
+
+    @property
+    def _spans(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
 
     def run(self, pdb: PDBSnapshot, favicons: bool = True) -> WebInferenceResult:
         """Run scraping + R&R matching, and the favicon stage unless
@@ -94,37 +108,55 @@ class WebInferenceModule:
         stats = result.stats
 
         # -- scrape: URL per net → final URL ------------------------------
-        url_to_asns: Dict[str, List[ASN]] = {}
-        for net in pdb.nets_with_websites():
-            stats.nets_with_website += 1
-            url_to_asns.setdefault(net.website.strip(), []).append(net.asn)
-        stats.unique_urls = len(url_to_asns)
+        with self._spans.span("web.scrape") as span:
+            url_to_asns: Dict[str, List[ASN]] = {}
+            for net in pdb.nets_with_websites():
+                stats.nets_with_website += 1
+                url_to_asns.setdefault(net.website.strip(), []).append(net.asn)
+            stats.unique_urls = len(url_to_asns)
 
-        final_of_asn: Dict[ASN, URL] = {}
-        for raw_url, asns in sorted(url_to_asns.items()):
-            scrape = self._scraper.resolve(raw_url)
-            if not scrape.ok or not scrape.final_url:
-                continue
-            stats.reachable_urls += 1
-            for asn in asns:
-                final_of_asn[asn] = scrape.final_url
-        result.final_url_of_asn = final_of_asn
-        stats.unique_final_urls = len(set(final_of_asn.values()))
+            final_of_asn: Dict[ASN, URL] = {}
+            for raw_url, asns in sorted(url_to_asns.items()):
+                scrape = self._scraper.resolve(raw_url)
+                if not scrape.ok or not scrape.final_url:
+                    continue
+                stats.reachable_urls += 1
+                for asn in asns:
+                    final_of_asn[asn] = scrape.final_url
+            result.final_url_of_asn = final_of_asn
+            stats.unique_final_urls = len(set(final_of_asn.values()))
+            span.set_attribute("unique_urls", stats.unique_urls)
+            span.set_attribute("reachable_urls", stats.reachable_urls)
 
         # -- R&R: group by final URL (§4.3.2) ------------------------------
-        by_final: Dict[URL, List[ASN]] = {}
-        for asn, final_url in sorted(final_of_asn.items()):
-            if self._config.apply_blocklists and is_blocked_final_url(final_url):
-                stats.blocked_final_urls += 1
-                continue
-            by_final.setdefault(final_url, []).append(asn)
-        result.rr_clusters = [
-            frozenset(asns) for asns in by_final.values()
-        ]
+        with self._spans.span("feature.rr") as span:
+            by_final: Dict[URL, List[ASN]] = {}
+            for asn, final_url in sorted(final_of_asn.items()):
+                if self._config.apply_blocklists and is_blocked_final_url(final_url):
+                    stats.blocked_final_urls += 1
+                    self._metrics.counter(
+                        "web_blocklist_rejections_total",
+                        "URLs dropped by the Appendix-D blocklists",
+                        list="final_url",
+                    ).inc()
+                    continue
+                by_final.setdefault(final_url, []).append(asn)
+            result.rr_clusters = [
+                frozenset(asns) for asns in by_final.values()
+            ]
+            span.set_attribute("clusters", len(result.rr_clusters))
+            span.set_attribute("blocked_final_urls", stats.blocked_final_urls)
 
         # -- favicons (§4.3.3) ------------------------------------------------
         if favicons:
-            result.favicon_clusters = self._favicon_stage(by_final, result, stats)
+            with self._spans.span("feature.favicons") as span:
+                result.favicon_clusters = self._favicon_stage(
+                    by_final, result, stats
+                )
+                span.set_attribute("clusters", len(result.favicon_clusters))
+                span.set_attribute(
+                    "shared_favicon_groups", stats.shared_favicon_groups
+                )
         return result
 
     # -- favicon decision tree (Fig. 6) -------------------------------------
@@ -164,6 +196,11 @@ class WebInferenceModule:
         if self._config.apply_blocklists:
             kept = tuple(u for u in urls if not is_blocked_brand(u))
             if len(kept) < len(urls):
+                self._metrics.counter(
+                    "web_blocklist_rejections_total",
+                    "URLs dropped by the Appendix-D blocklists",
+                    list="brand",
+                ).inc(len(urls) - len(kept))
                 result.decisions.append(
                     FaviconDecision(
                         favicon=digest,

@@ -29,8 +29,10 @@ from ..config import BorgesConfig, UniverseConfig
 from ..core.mapping import OrgMapping
 from ..core.pipeline import BorgesPipeline, BorgesResult
 from ..errors import ExperimentError
-from ..logutil import get_logger
+from ..logutil import get_logger, timed
 from ..metrics.org_factor import org_factor_from_mapping
+from ..obs.registry import get_registry
+from ..obs.tracer import get_tracer
 from ..universe import Universe, generate_universe
 from ..web.favicon import FaviconAPI
 from .report import Report
@@ -58,17 +60,28 @@ class ExperimentContext:
         universe_config: Optional[UniverseConfig] = None,
         borges_config: Optional[BorgesConfig] = None,
     ) -> "ExperimentContext":
-        universe = generate_universe(universe_config)
-        pipeline = BorgesPipeline(
-            universe.whois, universe.pdb, universe.web, config=borges_config
-        )
-        result = pipeline.run()
+        tracer = get_tracer()
+        with timed(_LOG, "experiment context build") as block:
+            with tracer.span("context.universe"):
+                universe = generate_universe(universe_config)
+            pipeline = BorgesPipeline(
+                universe.whois, universe.pdb, universe.web, config=borges_config
+            )
+            result = pipeline.run()
+            with tracer.span("context.baselines"):
+                as2org = build_as2org_mapping(universe.whois)
+                as2orgplus = build_as2orgplus_mapping(
+                    universe.whois, universe.pdb
+                )
+        get_registry().gauge(
+            "context_build_seconds", "wall-clock to build an ExperimentContext"
+        ).set(block.elapsed)
         return cls(
             universe=universe,
             pipeline=pipeline,
             result=result,
-            as2org=build_as2org_mapping(universe.whois),
-            as2orgplus=build_as2orgplus_mapping(universe.whois, universe.pdb),
+            as2org=as2org,
+            as2orgplus=as2orgplus,
         )
 
 
@@ -291,4 +304,9 @@ def run_experiment(
             f"known: {sorted(EXPERIMENTS)}"
         ) from None
     ctx = context or get_context(universe_config)
-    return runner(ctx)
+    with get_tracer().span(f"experiment.{experiment_id}"):
+        report = runner(ctx)
+    get_registry().counter(
+        "experiments_run_total", "experiment executions", experiment=experiment_id
+    ).inc()
+    return report

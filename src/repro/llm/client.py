@@ -11,12 +11,14 @@ same protocol.
 from __future__ import annotations
 
 import base64
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..config import LLMConfig
 from ..errors import LLMBackendError
 from ..logutil import get_logger
+from ..obs.registry import MetricsRegistry, get_registry
 from .cache import ResponseCache
 from .usage import TokenUsage, estimate_tokens
 
@@ -123,13 +125,25 @@ class ChatClient:
         config: Optional[LLMConfig] = None,
         cache: Optional[ResponseCache] = None,
         max_retries: int = 3,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._backend = backend
         self._config = (config or LLMConfig()).validate()
         self._cache = cache if cache is not None else ResponseCache()
         self._max_retries = max(1, max_retries)
+        self._registry = registry
         self.total_usage = TokenUsage()
         self.request_count = 0
+
+    @property
+    def _metrics(self) -> MetricsRegistry:
+        # Resolved per call so tests swapping the global registry see
+        # clients constructed earlier report into their registry.
+        return self._registry if self._registry is not None else get_registry()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """The response cache's hits/misses/entries accounting."""
+        return self._cache.stats()
 
     @property
     def config(self) -> LLMConfig:
@@ -141,18 +155,32 @@ class ChatClient:
 
     def chat(self, messages: Sequence[ChatMessage]) -> ChatResponse:
         """Complete a conversation, consulting the cache first."""
+        metrics = self._metrics
         key = self._request_key(messages)
         deterministic = self._config.temperature == 0.0
         if deterministic:
             cached = self._cache.get(key)
             if cached is not None:
+                metrics.counter(
+                    "llm_cache_events_total", "response-cache lookups",
+                    result="hit",
+                ).inc()
                 return ChatResponse(
                     content=cached,
                     model=self._config.model,
                     usage=TokenUsage(),
                     cached=True,
                 )
+            metrics.counter(
+                "llm_cache_events_total", "response-cache lookups",
+                result="miss",
+            ).inc()
+        start = time.perf_counter()
         content = self._complete_with_retries(messages)
+        metrics.histogram(
+            "llm_request_seconds", "backend completion latency",
+            backend=self._backend.name,
+        ).observe(time.perf_counter() - start)
         if deterministic:
             self._cache.put(key, content)
         prompt_tokens = sum(estimate_tokens(m.text) for m in messages)
@@ -162,6 +190,16 @@ class ChatClient:
         )
         self.total_usage = self.total_usage + usage
         self.request_count += 1
+        metrics.counter(
+            "llm_requests_total", "completed (non-cached) chat requests",
+            backend=self._backend.name,
+        ).inc()
+        metrics.counter(
+            "llm_tokens_total", "tokens spent", kind="prompt"
+        ).inc(usage.prompt_tokens)
+        metrics.counter(
+            "llm_tokens_total", "tokens spent", kind="completion"
+        ).inc(usage.completion_tokens)
         return ChatResponse(content=content, model=self._config.model, usage=usage)
 
     def ask(self, prompt: str) -> str:
@@ -175,6 +213,10 @@ class ChatClient:
                 return self._backend.complete(messages, self._config)
             except LLMBackendError as exc:
                 last_error = exc
+                self._metrics.counter(
+                    "llm_retries_total", "failed completion attempts",
+                    backend=self._backend.name,
+                ).inc()
                 _LOG.warning(
                     "backend %s failed (attempt %d/%d): %s",
                     self._backend.name, attempt, self._max_retries, exc,

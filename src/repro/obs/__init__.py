@@ -1,0 +1,59 @@
+"""Observability: metrics registry, span tracing, and run manifests.
+
+Three pieces, composable but independent:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket histograms
+  (process-global by default, injectable for tests);
+* :class:`Tracer` — nested wall-clock spans with attributes and error
+  status;
+* exporters — :func:`build_manifest`/:func:`write_manifest` (the JSON run
+  manifest) and :func:`render_prometheus` (text exposition format).
+
+The hot paths (pipeline features, LLM client, scraper, favicon API,
+experiment runner) are instrumented against the global registry/tracer,
+so ``borges run --telemetry-out run.json`` captures a full run for free.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    config_fingerprint,
+    load_manifest,
+    write_manifest,
+)
+from .prometheus import render_prometheus
+from .registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .tracer import Span, Tracer, get_tracer, set_tracer, use_tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "config_fingerprint",
+    "load_manifest",
+    "write_manifest",
+    "render_prometheus",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

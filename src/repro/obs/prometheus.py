@@ -1,0 +1,67 @@
+"""Prometheus text-exposition rendering for a :class:`MetricsRegistry`.
+
+Implements the subset of the format the registry's model needs: HELP/TYPE
+headers, label escaping, and cumulative ``_bucket``/``_sum``/``_count``
+series for histograms — enough for a scrape endpoint or a textfile
+collector to ingest pipeline metrics verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from .registry import Histogram, MetricsRegistry, get_registry
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Mapping[str, str], extra: Optional[Mapping[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render *registry* (default: the global one) as Prometheus text."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in sorted(family.children.items()):
+            labels = dict(key)
+            if isinstance(child, Histogram):
+                bounds = [_format_number(b) for b in child.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, child.cumulative_counts()):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels_text(labels, {'le': bound})} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_labels_text(labels)} "
+                    f"{_format_number(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_labels_text(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} "
+                    f"{_format_number(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,159 @@
+"""Span tracing for pipeline stages.
+
+A :class:`Tracer` produces nested :class:`Span` objects::
+
+    with tracer.span("ner.extract", asn=64512) as span:
+        ...
+        span.set_attribute("siblings", 3)
+
+Each span records wall-clock duration, free-form attributes, and error
+status (an exception inside the block marks the span ``error`` and
+re-raises).  Spans nest: a span opened while another is active becomes
+its child, so one pipeline run yields a tree the manifest exporter
+serialises as-is.
+
+Like the metrics registry, a process-global tracer backs zero-config
+instrumentation (:func:`get_tracer`), and tests swap in a private one via
+:func:`use_tracer`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..logutil import get_logger
+
+_LOG = get_logger("obs.tracer")
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage of a run."""
+
+    name: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+    started_at: float = 0.0  # UNIX timestamp
+    duration: float = 0.0  # seconds, set when the span finishes
+    status: str = "in_progress"  # "in_progress" | "ok" | "error"
+    error: str = ""
+    children: List["Span"] = field(default_factory=list)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    @property
+    def finished(self) -> bool:
+        return self.status != "in_progress"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration,
+            "status": self.status,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.error:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Builds span trees; one instance per process (or per test)."""
+
+    def __init__(self) -> None:
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a span; nests under the currently active span, if any."""
+        node = Span(
+            name=name,
+            attributes=dict(attributes),
+            started_at=time.time(),
+        )
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self._roots.append(node)
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+            node.status = "ok"
+        except BaseException as exc:
+            node.status = "error"
+            node.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            node.duration = time.perf_counter() - start
+            self._stack.pop()
+            _LOG.debug("span %s took %.3fs (%s)", name, node.duration, node.status)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def spans(self) -> List[Span]:
+        """Root spans recorded so far."""
+        return list(self._roots)
+
+    def all_spans(self) -> List[Span]:
+        """Every span, depth-first across all roots."""
+        out: List[Span] = []
+        for root in self._roots:
+            out.extend(root.walk())
+        return out
+
+    def find(self, name: str) -> List[Span]:
+        """All spans (at any depth) with the given name."""
+        return [s for s in self.all_spans() if s.name == name]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [root.to_dict() for root in self._roots]
+
+    def reset(self) -> None:
+        self._roots.clear()
+        self._stack.clear()
+
+
+# -- process-global default ----------------------------------------------------
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer instrumented modules default to."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the global tracer; returns the previous one."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Temporarily install *tracer* (default: a fresh one) as global."""
+    tracer = tracer or Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

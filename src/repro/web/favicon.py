@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..logutil import get_logger
+from ..obs.registry import MetricsRegistry, get_registry
 from ..types import FaviconHash, URL
 from .simweb import SimulatedWeb, favicon_hash
 from .url import host_of
@@ -39,11 +40,21 @@ class FaviconAPI:
     icon.
     """
 
-    def __init__(self, web: SimulatedWeb, size: int = 16) -> None:
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        size: int = 16,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._web = web
         self._size = size
+        self._registry = registry
         self._cache: Dict[str, Optional[bytes]] = {}
         self.request_count = 0
+
+    @property
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
 
     def request_url(self, site_url: URL) -> str:
         """The API request URL (for logging parity with the paper)."""
@@ -60,6 +71,10 @@ class FaviconAPI:
         if host not in self._cache:
             self.request_count += 1
             self._cache[host] = self._web.favicon_bytes(site_url)
+            self._metrics.counter(
+                "favicon_requests_total", "favicon API requests (per host)",
+                outcome="hit" if self._cache[host] is not None else "none",
+            ).inc()
         content = self._cache[host]
         if content is None:
             return None

@@ -16,6 +16,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..config import ScraperConfig
 from ..errors import FetchError, URLError
 from ..logutil import get_logger
+from ..obs.registry import (
+    DEFAULT_COUNT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
 from .http import HTTPResponse
 from .simweb import SimulatedWeb
 from .url import normalize_url, parse_url
@@ -55,11 +60,17 @@ class HeadlessScraper:
         web: SimulatedWeb,
         config: Optional[ScraperConfig] = None,
         browser: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._web = web
         self._config = (config or ScraperConfig()).validate()
         self._browser = browser
+        self._registry = registry
         self._cache: Dict[str, ScrapeResult] = {}
+
+    @property
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
 
     @property
     def browser_mode(self) -> bool:
@@ -80,9 +91,22 @@ class HeadlessScraper:
                 error=f"bad url: {exc.reason}",
             )
         if start in self._cache:
+            self._metrics.counter(
+                "web_resolve_total", "URL resolutions", outcome="cached"
+            ).inc()
             return self._cache[start]
         result = self._resolve_chain(start)
         self._cache[start] = result
+        metrics = self._metrics
+        metrics.counter(
+            "web_resolve_total", "URL resolutions",
+            outcome="ok" if result.ok else "error",
+        ).inc()
+        if result.ok:
+            metrics.histogram(
+                "web_redirect_hops", "redirect-chain depth per resolved URL",
+                buckets=DEFAULT_COUNT_BUCKETS,
+            ).observe(result.hops)
         return result
 
     def _resolve_chain(self, start: str) -> ScrapeResult:
@@ -91,6 +115,9 @@ class HeadlessScraper:
         current = start
         for _hop in range(self._config.max_redirect_hops):
             try:
+                self._metrics.counter(
+                    "web_fetch_total", "page fetches issued by the scraper"
+                ).inc()
                 response = self._web.fetch(current)
             except FetchError as exc:
                 return ScrapeResult(
