@@ -1,0 +1,84 @@
+"""Chaos benchmark: θ and feature completion rate per fault profile.
+
+Runs the full pipeline under each named fault profile (same universe,
+same seeds) and reports what the chaos cost: organization factor,
+fraction of enabled features that survived, injected-fault counts, and
+wall time.  ``none`` and ``flaky`` must match exactly (flaky is
+result-preserving by construction); ``burst``/``storm`` are allowed to
+degrade but never to crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import BorgesConfig, ResilienceConfig
+from repro.core import BorgesPipeline
+from repro.metrics import org_factor_from_mapping
+from repro.obs.registry import MetricsRegistry
+from repro.resilience import PROFILES
+
+#: Zero backoff: the simulators answer instantly, so sleeping between
+#: retries would only measure the clock.
+CHAOS_RESILIENCE = ResilienceConfig(
+    llm_base_delay=0.0, llm_max_delay=0.0,
+    web_base_delay=0.0, web_max_delay=0.0,
+)
+
+
+def run_under_profile(ctx, profile: str):
+    resilience = dataclasses.replace(
+        CHAOS_RESILIENCE, fault_profile=profile
+    )
+    config = dataclasses.replace(BorgesConfig(), resilience=resilience)
+    pipeline = BorgesPipeline(
+        ctx.universe.whois, ctx.universe.pdb, ctx.universe.web, config,
+        registry=MetricsRegistry(),
+    )
+    return pipeline.run()
+
+
+def completion_rate(result) -> float:
+    """Enabled features that produced clusters / enabled features."""
+    enabled = len(result.feature_errors) + len(
+        [f for f in result.features if f != "oid_w"]
+    )
+    survived = len([f for f in result.features if f != "oid_w"])
+    return survived / enabled if enabled else 1.0
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_chaos_profile(benchmark, ctx, profile):
+    result = benchmark.pedantic(
+        lambda: run_under_profile(ctx, profile), rounds=1, iterations=1
+    )
+    theta = org_factor_from_mapping(result.mapping)
+    resilience = result.diagnostics["resilience"]
+    injected = resilience.get("faults_injected", {})
+    print(
+        f"\nprofile={profile:<6} theta={theta:.4f} "
+        f"orgs={len(result.mapping):,} "
+        f"completion={completion_rate(result):.2f} "
+        f"degraded={result.degraded} "
+        f"faults={sum(injected.values())}"
+    )
+    if result.degraded:
+        for name, error in sorted(result.feature_errors.items()):
+            print(f"  lost {name}: {error}")
+    # The degraded-run contract: chaos may cost features, never the run.
+    assert len(result.mapping) > 0
+    if profile in ("none", "flaky"):
+        assert result.degraded is False
+        assert completion_rate(result) == 1.0
+
+
+def test_chaos_flaky_matches_fault_free_theta(ctx):
+    """flaky's consecutive-fault cap makes it invisible in the output."""
+    clean = run_under_profile(ctx, "none")
+    flaky = run_under_profile(ctx, "flaky")
+    assert flaky.mapping.clusters() == clean.mapping.clusters()
+    assert org_factor_from_mapping(flaky.mapping) == pytest.approx(
+        org_factor_from_mapping(clean.mapping)
+    )

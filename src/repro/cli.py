@@ -52,6 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=42, help="universe seed (default 42)"
     )
     parser.add_argument(
+        "--fault-profile",
+        choices=_fault_profile_names(),
+        default=None,
+        metavar="PROFILE",
+        help=(
+            "inject seeded faults from a named chaos profile "
+            f"({', '.join(_fault_profile_names())}); overrides "
+            "$BORGES_FAULT_PROFILE"
+        ),
+    )
+    parser.add_argument(
         "--orgs",
         type=int,
         default=None,
@@ -133,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_profile_names() -> Sequence[str]:
+    from .resilience.faults import PROFILES
+
+    return sorted(PROFILES)
+
+
+def _borges_config(args: argparse.Namespace) -> BorgesConfig:
+    config = BorgesConfig()
+    if getattr(args, "fault_profile", None):
+        config = config.with_fault_profile(args.fault_profile)
+    return config
+
+
 def _universe_config(args: argparse.Namespace) -> UniverseConfig:
     config = UniverseConfig(seed=args.seed)
     if args.orgs is not None:
@@ -158,7 +182,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .web.simweb import SimulatedWeb
 
-    config = BorgesConfig()
+    config = _borges_config(args)
     if args.features is not None:
         config = config.with_features(*args.features)
     if args.from_datasets is not None:
@@ -186,6 +210,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _RUN_ARTIFACTS.update(
         config=pipeline.config, result=result, client=pipeline.client
     )
+    if result.degraded:
+        print("WARNING: run completed DEGRADED — features lost to failures:")
+        for name, error in sorted(result.feature_errors.items()):
+            print(f"  {name}: {error}")
     print(f"method: {result.mapping.method}")
     for row in result.feature_table():
         print(f"  {row['source']:>10}: {row['asns']:>7,} ASes, {row['orgs']:>7,} orgs")
@@ -249,7 +277,9 @@ def _print_span_tree(spans, indent: int = 0) -> None:
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     universe = generate_universe(_universe_config(args))
-    pipeline = BorgesPipeline(universe.whois, universe.pdb, universe.web)
+    pipeline = BorgesPipeline(
+        universe.whois, universe.pdb, universe.web, _borges_config(args)
+    )
     result = pipeline.run()
     _RUN_ARTIFACTS.update(
         config=pipeline.config, result=result, client=pipeline.client
@@ -264,6 +294,15 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     )
     print(_cache_summary_line(pipeline.client.cache_stats()))
     print(f"organizations: {len(result.mapping):,}")
+    resilience = result.diagnostics.get("resilience", {})
+    if isinstance(resilience, dict) and resilience.get("fault_profile") != "none":
+        print(f"fault profile: {resilience.get('fault_profile')}")
+        for label, count in sorted(
+            dict(resilience.get("faults_injected", {})).items()
+        ):
+            print(f"  injected {label}: {count}")
+    if result.degraded:
+        print(f"DEGRADED run; failed features: {sorted(result.feature_errors)}")
     registry = get_registry()
     print(f"metric families: {len(registry.families())}")
     if args.prometheus:

@@ -89,6 +89,69 @@ class ScraperConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry/backoff, circuit-breaker and fault-injection knobs.
+
+    The delays are tuned for the offline simulators (no real network
+    latency); a live deployment would raise them.  ``fault_profile``
+    names one of :data:`repro.resilience.PROFILES`; the empty string
+    defers to the ``BORGES_FAULT_PROFILE`` environment variable (default
+    ``none``), which is how CI runs the unmodified suite under chaos.
+    """
+
+    #: LLM completion retries (exponential backoff, seeded jitter).
+    llm_attempts: int = 3
+    llm_base_delay: float = 0.01
+    llm_max_delay: float = 0.25
+    #: Web fetch retries; the simulated web answers instantly, so the
+    #: default backoff is zero-cost while preserving the retry semantics.
+    web_attempts: int = 3
+    web_base_delay: float = 0.0
+    web_max_delay: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.1
+    #: Circuit breakers (per LLM backend, per web host).
+    breaker_failure_threshold: int = 5
+    breaker_recovery_seconds: float = 30.0
+    breaker_half_open_max_calls: int = 1
+    #: Seeded chaos: profile name ("" → environment) and injector seed.
+    fault_profile: str = ""
+    fault_seed: int = 2020
+
+    def validate(self) -> "ResilienceConfig":
+        if self.llm_attempts < 1 or self.web_attempts < 1:
+            raise ConfigError("retry attempts must be >= 1")
+        for name in (
+            "llm_base_delay", "llm_max_delay", "web_base_delay", "web_max_delay"
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigError(f"backoff_jitter out of [0,1]: {self.backoff_jitter}")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be >= 1")
+        if self.breaker_recovery_seconds <= 0:
+            raise ConfigError("breaker_recovery_seconds must be positive")
+        if self.breaker_half_open_max_calls < 1:
+            raise ConfigError("breaker_half_open_max_calls must be >= 1")
+        if self.fault_profile:
+            from .resilience.faults import PROFILES
+
+            if self.fault_profile not in PROFILES:
+                raise ConfigError(
+                    f"unknown fault profile {self.fault_profile!r}; "
+                    f"known: {sorted(PROFILES)}"
+                )
+        return self
+
+    def with_profile(self, name: str) -> "ResilienceConfig":
+        """Return a copy pinned to the named fault profile."""
+        return dataclasses.replace(self, fault_profile=name).validate()
+
+
+@dataclass(frozen=True)
 class BorgesConfig:
     """Full pipeline configuration.
 
@@ -109,6 +172,7 @@ class BorgesConfig:
     favicon_llm_step: bool = True
     llm: LLMConfig = field(default_factory=LLMConfig)
     scraper: ScraperConfig = field(default_factory=ScraperConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def validate(self) -> "BorgesConfig":
         unknown = self.features - set(ALL_FEATURES)
@@ -116,7 +180,14 @@ class BorgesConfig:
             raise ConfigError(f"unknown features: {sorted(unknown)}")
         self.llm.validate()
         self.scraper.validate()
+        self.resilience.validate()
         return self
+
+    def with_fault_profile(self, name: str) -> "BorgesConfig":
+        """Return a copy running under the named fault profile."""
+        return dataclasses.replace(
+            self, resilience=self.resilience.with_profile(name)
+        ).validate()
 
     def with_features(self, *names: str) -> "BorgesConfig":
         """Return a copy restricted to the given feature subset."""

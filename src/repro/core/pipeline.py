@@ -25,6 +25,11 @@ from ..logutil import get_logger
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.tracer import Tracer, get_tracer
 from ..peeringdb import PDBSnapshot
+from ..resilience.faults import (
+    FaultInjector,
+    FaultyWeb,
+    resolve_fault_profile,
+)
 from ..types import ASN, Cluster
 from ..web.favicon import FaviconAPI
 from ..web.scraper import HeadlessScraper
@@ -72,6 +77,11 @@ class BorgesResult:
     #: Run-level accounting (LLM cache hits, scraper stats, NER counters)
     #: for the CLI summary and the telemetry manifest.
     diagnostics: Dict[str, object] = field(default_factory=dict)
+    #: True when at least one enabled feature failed and the mapping was
+    #: consolidated from the survivors only.
+    degraded: bool = False
+    #: feature name → one-line error, for every feature that failed.
+    feature_errors: Dict[str, str] = field(default_factory=dict)
 
     def feature_table(self) -> List[Dict[str, object]]:
         """Rows shaped like Table 3 (source, #ASes, #orgs)."""
@@ -111,11 +121,30 @@ class BorgesPipeline:
         self._whois = whois
         self._pdb = pdb
         self._config = (config or BorgesConfig()).validate()
-        self._client = client or make_default_client(self._config.llm)
+        resilience = self._config.resilience
+        self._fault_profile = resolve_fault_profile(resilience.fault_profile)
+        self._fault_injector: Optional[FaultInjector] = None
+        if self._fault_profile.active:
+            # One shared injector across both flaky surfaces, so the
+            # run's chaos is a pure function of (profile, fault_seed) and
+            # the diagnostics see every injected fault in one tally.
+            self._fault_injector = FaultInjector(
+                self._fault_profile,
+                seed=resilience.fault_seed,
+                registry=registry,
+            )
+            web = FaultyWeb(web, self._fault_injector)
+        self._client = client or make_default_client(
+            self._config.llm,
+            resilience=resilience,
+            registry=registry,
+            injector=self._fault_injector,
+        )
         self._tracer = tracer
         self._registry = registry
         self._scraper = HeadlessScraper(
-            web, config=self._config.scraper, registry=registry
+            web, config=self._config.scraper, registry=registry,
+            resilience=resilience,
         )
         self._favicon_api = FaviconAPI(web, registry=registry)
         self._ner = NERModule(self._client, self._config)
@@ -151,6 +180,30 @@ class BorgesPipeline:
         config = self._config
         spans = self._spans
         features: Dict[str, FeatureClusters] = {}
+        failures: Dict[str, str] = {}
+
+        def guard(name, fn):
+            """Run one optional feature in an isolation boundary.
+
+            A failure is recorded against *name* and the run continues:
+            the mapping is consolidated from whatever features survive.
+            """
+            try:
+                return fn()
+            except Exception as exc:  # noqa: BLE001 - boundary by design
+                failures[name] = f"{type(exc).__name__}: {exc}"
+                self._metrics.counter(
+                    "pipeline_feature_failures_total",
+                    "features lost to errors (run degraded)",
+                    feature=name,
+                ).inc()
+                _LOG.warning(
+                    "feature %s failed, continuing degraded: %s", name, exc
+                )
+                return None
+
+        # oid_w is the backbone (it defines the universe); it is not an
+        # optional feature and its failure aborts the run.
         with spans.span("feature.oid_w"):
             features["oid_w"] = FeatureClusters(
                 "oid_w", oid_w_clusters(self._whois)
@@ -159,33 +212,55 @@ class BorgesPipeline:
         web_result: Optional[WebInferenceResult] = None
 
         if config.has(FEATURE_OID_P):
-            with spans.span("feature.oid_p"):
-                features[FEATURE_OID_P] = FeatureClusters(
-                    FEATURE_OID_P, oid_p_clusters(self._pdb)
-                )
+            def run_oid_p():
+                with spans.span("feature.oid_p"):
+                    return FeatureClusters(
+                        FEATURE_OID_P, oid_p_clusters(self._pdb)
+                    )
+
+            clusters = guard(FEATURE_OID_P, run_oid_p)
+            if clusters is not None:
+                features[FEATURE_OID_P] = clusters
         if config.has(FEATURE_NOTES_AKA):
-            with spans.span("feature.notes_aka") as span:
-                ner_results = self._ner.run(self._pdb)
+            def run_notes_aka():
+                with spans.span("feature.notes_aka") as span:
+                    results = self._ner.run(self._pdb)
+                    span.set_attribute(
+                        "records_queried", self._ner.stats.records_queried
+                    )
+                    return results
+
+            ner_results = guard(FEATURE_NOTES_AKA, run_notes_aka) or []
+            if FEATURE_NOTES_AKA not in failures:
                 features[FEATURE_NOTES_AKA] = FeatureClusters(
                     FEATURE_NOTES_AKA, self._ner.clusters(ner_results)
-                )
-                span.set_attribute(
-                    "records_queried", self._ner.stats.records_queried
                 )
         if config.has(FEATURE_RR) or config.has(FEATURE_FAVICONS):
             # WebInferenceModule opens the feature.rr/feature.favicons
             # spans itself (the scrape stage is shared between them).
-            web_result = self._web_module.run(
-                self._pdb, favicons=config.has(FEATURE_FAVICONS)
+            want_favicons = config.has(FEATURE_FAVICONS)
+            boundary = FEATURE_FAVICONS if want_favicons else FEATURE_RR
+            web_result = guard(
+                boundary,
+                lambda: self._web_module.run(self._pdb, favicons=want_favicons),
             )
-            if config.has(FEATURE_RR):
-                features[FEATURE_RR] = FeatureClusters(
-                    FEATURE_RR, web_result.rr_clusters
+            if web_result is None and want_favicons and config.has(FEATURE_RR):
+                # Salvage rr without the favicon stage: the scraper and
+                # LLM caches persist, so the re-run only redoes the part
+                # that did not complete.
+                web_result = guard(
+                    FEATURE_RR,
+                    lambda: self._web_module.run(self._pdb, favicons=False),
                 )
-            if config.has(FEATURE_FAVICONS):
-                features[FEATURE_FAVICONS] = FeatureClusters(
-                    FEATURE_FAVICONS, web_result.favicon_clusters
-                )
+            if web_result is not None:
+                if config.has(FEATURE_RR) and FEATURE_RR not in failures:
+                    features[FEATURE_RR] = FeatureClusters(
+                        FEATURE_RR, web_result.rr_clusters
+                    )
+                if want_favicons and FEATURE_FAVICONS not in failures:
+                    features[FEATURE_FAVICONS] = FeatureClusters(
+                        FEATURE_FAVICONS, web_result.favicon_clusters
+                    )
 
         with spans.span("pipeline.merge") as span:
             mapping = self.build_mapping(features)
@@ -198,16 +273,23 @@ class BorgesPipeline:
         self._metrics.gauge(
             "pipeline_orgs", "organizations after consolidation"
         ).set(len(mapping))
+        self._metrics.gauge(
+            "pipeline_degraded", "1 when the last run lost features"
+        ).set(1 if failures else 0)
         return BorgesResult(
             mapping=mapping,
             features=features,
             ner_results=ner_results,
             web_result=web_result,
-            diagnostics=self._diagnostics(web_result),
+            diagnostics=self._diagnostics(web_result, failures),
+            degraded=bool(failures),
+            feature_errors=dict(failures),
         )
 
     def _diagnostics(
-        self, web_result: Optional[WebInferenceResult]
+        self,
+        web_result: Optional[WebInferenceResult],
+        failures: Optional[Dict[str, str]] = None,
     ) -> Dict[str, object]:
         diagnostics: Dict[str, object] = {
             "llm_cache": self._client.cache_stats(),
@@ -217,6 +299,17 @@ class BorgesPipeline:
         }
         if web_result is not None:
             diagnostics["web"] = dict(vars(web_result.stats))
+        failures = failures or {}
+        resilience: Dict[str, object] = {
+            "fault_profile": self._fault_profile.name,
+            "llm_breaker": self._client.breaker.state,
+            "web_breakers": self._scraper.breaker_states(),
+            "degraded": bool(failures),
+            "feature_errors": dict(failures),
+        }
+        if self._fault_injector is not None:
+            resilience["faults_injected"] = self._fault_injector.stats()
+        diagnostics["resilience"] = resilience
         return diagnostics
 
     def build_mapping(

@@ -9,7 +9,15 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    ``retryable`` classifies the failure for the resilience layer
+    (:mod:`repro.resilience`): transient faults — rate limits, timeouts,
+    connection resets — are worth retrying with backoff; everything else
+    is fatal and propagates immediately.
+    """
+
+    retryable = False
 
 
 class ConfigError(ReproError):
@@ -53,7 +61,31 @@ class LLMResponseError(LLMError):
 
 
 class LLMBackendError(LLMError):
-    """The backing model/service failed (simulated rate limits, etc.)."""
+    """The backing model/service failed (simulated rate limits, etc.).
+
+    Backend failures default to retryable; :class:`LLMInvalidRequestError`
+    marks the ones where retrying the same request cannot help.
+    """
+
+    retryable = True
+
+
+class LLMRateLimitError(LLMBackendError):
+    """The backend rate-limited the request (HTTP 429 analogue)."""
+
+
+class LLMTimeoutError(LLMBackendError):
+    """The backend did not answer in time."""
+
+
+class LLMConnectionError(LLMBackendError):
+    """The connection to the backend dropped mid-request."""
+
+
+class LLMInvalidRequestError(LLMBackendError):
+    """The request itself is malformed; retrying it is pointless."""
+
+    retryable = False
 
 
 class WebError(ReproError):
@@ -70,12 +102,19 @@ class URLError(WebError):
 
 
 class FetchError(WebError):
-    """A simulated HTTP fetch failed (host down, too many redirects...)."""
+    """A simulated HTTP fetch failed (host down, too many redirects...).
 
-    def __init__(self, url: str, reason: str) -> None:
+    ``transient`` distinguishes failures worth re-attempting (timeouts,
+    resets, 5xx) from permanent ones (NXDOMAIN, bad redirects); the
+    scraper retries and re-attempts only the former.
+    """
+
+    def __init__(self, url: str, reason: str, transient: bool = False) -> None:
         super().__init__(f"fetch failed for {url!r}: {reason}")
         self.url = url
         self.reason = reason
+        self.transient = transient
+        self.retryable = transient
 
 
 class RedirectLoopError(FetchError):
@@ -84,6 +123,14 @@ class RedirectLoopError(FetchError):
     def __init__(self, url: str, max_hops: int) -> None:
         super().__init__(url, f"redirect chain exceeded {max_hops} hops")
         self.max_hops = max_hops
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker rejected the call without attempting it."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"circuit {name!r} is open; failing fast")
+        self.name = name
 
 
 class PipelineError(ReproError):

@@ -16,9 +16,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..config import LLMConfig
-from ..errors import LLMBackendError
+from ..errors import CircuitOpenError, LLMBackendError
 from ..logutil import get_logger
 from ..obs.registry import MetricsRegistry, get_registry
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.policy import RetryPolicy
 from .cache import ResponseCache
 from .usage import TokenUsage, estimate_tokens
 
@@ -117,6 +119,13 @@ class ChatClient:
     At temperature 0 / top_p 1 the paper's setup is reproducible, so
     identical requests are served from cache — exactly the behaviour a
     production pipeline wants when re-running over an unchanged snapshot.
+
+    Completion attempts run under a :class:`RetryPolicy` (exponential
+    backoff + jitter on retryable backend errors) behind a
+    :class:`CircuitBreaker`: once the backend fails
+    ``failure_threshold`` consecutive times, further requests fail fast
+    with :class:`~repro.errors.CircuitOpenError` instead of burning the
+    retry budget against a dead service.
     """
 
     def __init__(
@@ -126,11 +135,23 @@ class ChatClient:
         cache: Optional[ResponseCache] = None,
         max_retries: int = 3,
         registry: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self._backend = backend
         self._config = (config or LLMConfig()).validate()
         self._cache = cache if cache is not None else ResponseCache()
-        self._max_retries = max(1, max_retries)
+        self._policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(attempts=max(1, max_retries))
+        ).validate()
+        self._max_retries = self._policy.attempts
+        self._breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(name=f"llm:{backend.name}", registry=registry)
+        )
         self._registry = registry
         self.total_usage = TokenUsage()
         self.request_count = 0
@@ -206,25 +227,55 @@ class ChatClient:
         """Single-user-message convenience wrapper."""
         return self.chat([ChatMessage(role="user", content=prompt)]).content
 
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._policy
+
     def _complete_with_retries(self, messages: Sequence[ChatMessage]) -> str:
-        last_error: Optional[Exception] = None
-        for attempt in range(1, self._max_retries + 1):
+        backend, metrics = self._backend, self._metrics
+        key = messages[-1].cache_key() if messages else ""
+
+        def attempt() -> str:
+            if not self._breaker.allow():
+                raise CircuitOpenError(self._breaker.name)
             try:
-                return self._backend.complete(messages, self._config)
+                content = backend.complete(messages, self._config)
             except LLMBackendError as exc:
-                last_error = exc
-                self._metrics.counter(
+                metrics.counter(
                     "llm_retries_total", "failed completion attempts",
-                    backend=self._backend.name,
+                    backend=backend.name,
                 ).inc()
-                _LOG.warning(
-                    "backend %s failed (attempt %d/%d): %s",
-                    self._backend.name, attempt, self._max_retries, exc,
-                )
-        raise LLMBackendError(
-            f"backend {self._backend.name} failed after "
-            f"{self._max_retries} attempts: {last_error}"
-        )
+                if exc.retryable:
+                    self._breaker.record_failure()
+                raise
+            self._breaker.record_success()
+            return content
+
+        def on_retry(attempt_no: int, exc: BaseException, delay: float) -> None:
+            metrics.histogram(
+                "llm_backoff_seconds", "backoff slept before a retry",
+                backend=backend.name,
+            ).observe(delay)
+            _LOG.warning(
+                "backend %s failed (attempt %d/%d, retrying in %.3fs): %s",
+                backend.name, attempt_no, self._policy.attempts, delay, exc,
+            )
+
+        try:
+            return self._policy.execute(attempt, key=key, on_retry=on_retry)
+        except CircuitOpenError:
+            raise
+        except LLMBackendError as exc:
+            if not exc.retryable:
+                raise
+            raise LLMBackendError(
+                f"backend {backend.name} failed after "
+                f"{self._policy.attempts} attempts: {exc}"
+            ) from exc
 
     def _request_key(self, messages: Sequence[ChatMessage]) -> str:
         head = f"{self._config.model}|{self._config.temperature}|{self._config.top_p}"

@@ -13,32 +13,13 @@ depend on call order.
 
 from __future__ import annotations
 
-import hashlib
-import struct
 from typing import Tuple
 
+# Canonical home of the order-independent seeded hash; the resilience
+# layer's fault injector draws from the same primitive.
+from ..resilience.seeding import stable_choice_index, stable_unit
 
-def stable_unit(seed: int, *identity: object) -> float:
-    """A deterministic pseudo-uniform value in [0, 1) for *identity*.
-
-    Identical ``(seed, identity)`` always yields the same value,
-    independent of call order — the property that makes temperature-0
-    error injection reproducible.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(str(seed).encode("utf-8"))
-    for part in identity:
-        hasher.update(b"\x1f")
-        hasher.update(repr(part).encode("utf-8"))
-    (value,) = struct.unpack(">Q", hasher.digest()[:8])
-    return value / float(2**64)
-
-
-def stable_choice_index(seed: int, n: int, *identity: object) -> int:
-    """A deterministic index in ``range(n)`` for *identity*."""
-    if n <= 0:
-        raise ValueError("n must be positive")
-    return int(stable_unit(seed, "choice", *identity) * n) % n
+__all__ = ["ErrorInjector", "stable_choice_index", "stable_unit"]
 
 
 class ErrorInjector:

@@ -16,7 +16,7 @@ import re
 from typing import List, Optional, Sequence, Tuple
 
 from ..config import LLMConfig
-from ..errors import LLMBackendError
+from ..errors import LLMInvalidRequestError
 from ..logutil import get_logger
 from .cache import ResponseCache
 from .classifier_engine import classify_group, decode_brand
@@ -75,7 +75,7 @@ class SimulatedChatBackend(ChatBackend):
             return self._complete_extraction(prompt_text)
         if CLASSIFIER_PROMPT_MARKER in prompt_text:
             return self._complete_classification(prompt_text, messages)
-        raise LLMBackendError(
+        raise LLMInvalidRequestError(
             "simulated backend received a prompt it does not recognize; "
             "only the Borges extraction and classifier prompts are modelled"
         )
@@ -85,7 +85,7 @@ class SimulatedChatBackend(ChatBackend):
     def _complete_extraction(self, prompt_text: str) -> str:
         match = _EXTRACTION_FIELDS_RE.search(prompt_text)
         if not match:
-            raise LLMBackendError("extraction prompt missing embedded fields")
+            raise LLMInvalidRequestError("extraction prompt missing embedded fields")
         own_asn = int(match.group("asn"))
         notes = _unplaceholder(match.group("notes"))
         aka = _unplaceholder(match.group("aka"))
@@ -145,11 +145,11 @@ class SimulatedChatBackend(ChatBackend):
     ) -> str:
         match = _CLASSIFIER_URLS_RE.search(prompt_text)
         if not match:
-            raise LLMBackendError("classifier prompt missing URL list")
+            raise LLMInvalidRequestError("classifier prompt missing URL list")
         try:
             urls = ast.literal_eval(match.group("urls"))
         except (SyntaxError, ValueError) as exc:
-            raise LLMBackendError(f"unparsable URL list: {exc}") from exc
+            raise LLMInvalidRequestError(f"unparsable URL list: {exc}") from exc
         favicon = b""
         for message in messages:
             images = message.images
@@ -157,7 +157,7 @@ class SimulatedChatBackend(ChatBackend):
                 favicon = images[0].data
                 break
         if not favicon:
-            raise LLMBackendError("classifier prompt carried no favicon image")
+            raise LLMInvalidRequestError("classifier prompt carried no favicon image")
 
         answer = classify_group(favicon, list(urls))
         brand = decode_brand(favicon)
@@ -192,7 +192,52 @@ def _invented_company_name(urls: Sequence[str]) -> str:
 def make_default_client(
     config: Optional[LLMConfig] = None,
     cache: Optional[ResponseCache] = None,
+    resilience: Optional["ResilienceConfig"] = None,
+    registry=None,
+    injector=None,
 ) -> ChatClient:
-    """Build the standard offline client: simulated backend + cache."""
+    """Build the standard offline client: simulated backend + cache.
+
+    *resilience* configures the retry policy and circuit breaker, and —
+    when its fault profile (or ``$BORGES_FAULT_PROFILE``) is active —
+    wraps the backend in a seeded :class:`FaultyChatBackend` so chaos
+    runs are reproducible.  Pass *injector* to share one
+    :class:`FaultInjector` (and its tallies) with other surfaces.
+    """
+    from ..config import ResilienceConfig
+    from ..resilience.breaker import CircuitBreaker
+    from ..resilience.faults import (
+        FaultInjector,
+        FaultyChatBackend,
+        resolve_fault_profile,
+    )
+    from ..resilience.policy import RetryPolicy
+
     cfg = (config or LLMConfig()).validate()
-    return ChatClient(SimulatedChatBackend(cfg), config=cfg, cache=cache)
+    res = (resilience or ResilienceConfig()).validate()
+    backend: ChatBackend = SimulatedChatBackend(cfg)
+    profile = resolve_fault_profile(res.fault_profile)
+    if profile.active:
+        if injector is None:
+            injector = FaultInjector(
+                profile, seed=res.fault_seed, registry=registry
+            )
+        backend = FaultyChatBackend(backend, injector)
+    policy = RetryPolicy(
+        attempts=res.llm_attempts,
+        base_delay=res.llm_base_delay,
+        max_delay=res.llm_max_delay,
+        multiplier=res.backoff_multiplier,
+        jitter=res.backoff_jitter,
+    )
+    breaker = CircuitBreaker(
+        name=f"llm:{backend.name}",
+        failure_threshold=res.breaker_failure_threshold,
+        recovery_seconds=res.breaker_recovery_seconds,
+        half_open_max_calls=res.breaker_half_open_max_calls,
+        registry=registry,
+    )
+    return ChatClient(
+        backend, config=cfg, cache=cache, registry=registry,
+        retry_policy=policy, breaker=breaker,
+    )

@@ -113,6 +113,10 @@ def build_manifest(
     if result is not None:
         manifest["features"] = _feature_section(result, tracer)
         manifest["org_count"] = len(result.mapping)
+        manifest["degraded"] = bool(getattr(result, "degraded", False))
+        feature_errors = getattr(result, "feature_errors", None)
+        if feature_errors:
+            manifest["feature_errors"] = _jsonable(feature_errors)
         if result.diagnostics:
             manifest["diagnostics"] = _jsonable(result.diagnostics)
     manifest["spans"] = tracer.to_dicts()

@@ -1,0 +1,191 @@
+"""Circuit breakers: fail fast when a dependency is down.
+
+The classic three-state machine.  **Closed** passes calls through and
+counts consecutive retryable failures; at ``failure_threshold`` it
+**opens** and rejects calls outright (the caller sees
+:class:`~repro.errors.CircuitOpenError` instead of burning retries
+against a dead backend).  After ``recovery_seconds`` it lets a bounded
+number of **half-open** probes through: one success re-closes, one
+failure re-opens.  The clock is injectable so tests drive recovery
+without sleeping.
+
+:class:`BreakerRegistry` manages one breaker per key (per LLM backend,
+per web host) with shared settings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, TypeVar
+
+from ..errors import CircuitOpenError, ConfigError
+from ..obs.registry import MetricsRegistry, get_registry
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker states (``breaker_state`` metric).
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One dependency's health gate."""
+
+    def __init__(
+        self,
+        name: str = "default",
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if recovery_seconds <= 0:
+            raise ConfigError("recovery_seconds must be positive")
+        if half_open_max_calls < 1:
+            raise ConfigError("half_open_max_calls must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_max_calls = half_open_max_calls
+        self._clock = clock
+        self._registry = registry
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_probes = 0
+        self.rejections = 0
+
+    @property
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def state(self) -> str:
+        self._poll()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def _poll(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._transition(HALF_OPEN)
+
+    def _transition(self, to: str) -> None:
+        self._state = to
+        self._half_open_probes = 0
+        if to == OPEN:
+            self._opened_at = self._clock()
+        elif to == CLOSED:
+            self._consecutive_failures = 0
+        metrics = self._metrics
+        metrics.gauge(
+            "breaker_state",
+            "circuit state (0=closed, 1=half-open, 2=open)",
+            breaker=self.name,
+        ).set(STATE_VALUES[to])
+        metrics.counter(
+            "breaker_transitions_total", "circuit state transitions",
+            breaker=self.name, to=to,
+        ).inc()
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits bounded probes.)"""
+        self._poll()
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            self.rejections += 1
+            self._metrics.counter(
+                "breaker_rejections_total", "calls rejected by an open circuit",
+                breaker=self.name,
+            ).inc()
+            return False
+        if self._half_open_probes < self.half_open_max_calls:
+            self._half_open_probes += 1
+            return True
+        self.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        self._poll()
+        if self._state == HALF_OPEN:
+            self._transition(OPEN)
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(OPEN)
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Guarded invocation: gate, run, and record in one step."""
+        if not self.allow():
+            raise CircuitOpenError(self.name)
+        try:
+            result = fn()
+        except Exception as exc:
+            if getattr(exc, "retryable", False):
+                self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+class BreakerRegistry:
+    """Per-key breakers (per backend, per host) with shared settings."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "breaker",
+    ) -> None:
+        self._settings = dict(
+            failure_threshold=failure_threshold,
+            recovery_seconds=recovery_seconds,
+            half_open_max_calls=half_open_max_calls,
+        )
+        self._clock = clock
+        self._registry = registry
+        self._prefix = prefix
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        existing = self._breakers.get(key)
+        if existing is None:
+            existing = CircuitBreaker(
+                name=f"{self._prefix}:{key}",
+                clock=self._clock,
+                registry=self._registry,
+                **self._settings,
+            )
+            self._breakers[key] = existing
+        return existing
+
+    def states(self) -> Dict[str, str]:
+        return {key: breaker.state for key, breaker in self._breakers.items()}
+
+    def open_count(self) -> int:
+        return sum(1 for state in self.states().values() if state != CLOSED)
+
+    def __len__(self) -> int:
+        return len(self._breakers)

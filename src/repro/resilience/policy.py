@@ -1,0 +1,103 @@
+"""Retry policies: exponential backoff, seeded jitter, error classification.
+
+A :class:`RetryPolicy` decides *whether* to retry (via the exception's
+``retryable`` attribute — see :mod:`repro.errors`), *how long* to wait
+(exponential backoff capped at ``max_delay``, with deterministic seeded
+jitter so two identically-seeded runs sleep identically), and *how* to
+wait (the ``sleep`` callable is injectable, so tests run with a no-op
+clock instead of real time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TypeVar
+
+from ..errors import ConfigError
+from .seeding import stable_unit
+
+T = TypeVar("T")
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Default error classification: honour the exception's own verdict.
+
+    Errors raised by :mod:`repro` carry a ``retryable`` attribute
+    (transient rate limits and timeouts set it; malformed requests and
+    open circuits do not).  Foreign exceptions default to fatal.
+    """
+    return bool(getattr(exc, "retryable", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay_for(attempt)`` grows ``base_delay * multiplier**(attempt-1)``
+    up to ``max_delay``; ``jitter`` then perturbs it by up to ±that
+    fraction, keyed by ``(seed, key, attempt)`` so the schedule is a pure
+    function of its inputs.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 97
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def validate(self) -> "RetryPolicy":
+        if self.attempts < 1:
+            raise ConfigError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter out of [0,1]: {self.jitter}")
+        return self
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Backoff before retrying after the *attempt*-th failure (1-based)."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if delay <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            unit = stable_unit(self.seed, "backoff", key, attempt)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return max(0.0, delay)
+
+    def schedule(self, key: str = "") -> List[float]:
+        """The full backoff schedule (one delay per retryable failure)."""
+        return [self.delay_for(n, key) for n in range(1, self.attempts)]
+
+    def execute(
+        self,
+        fn: Callable[[], T],
+        *,
+        key: str = "",
+        classify: Optional[Callable[[BaseException], bool]] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> T:
+        """Run *fn* under this policy.
+
+        Retryable failures (per *classify*, default :func:`is_retryable`)
+        are retried after backoff until ``attempts`` is exhausted; the
+        last error — or the first fatal one — propagates unchanged.
+        ``on_retry(attempt, exc, delay)`` fires before each sleep.
+        """
+        classify = classify if classify is not None else is_retryable
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except Exception as exc:
+                if attempt >= self.attempts or not classify(exc):
+                    raise
+                delay = self.delay_for(attempt, key)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0.0:
+                    self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

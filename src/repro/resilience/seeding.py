@@ -1,0 +1,37 @@
+"""Order-independent seeded randomness for resilience decisions.
+
+Retry jitter and fault injection must be *deterministic* and *stable
+across runs* for chaos runs to be reproducible from a seed: each decision
+is keyed by a hash of the seed and the item's identity rather than by a
+shared RNG stream whose state would depend on call order.  This is the
+same discipline the simulated LLM's calibrated error model uses
+(:mod:`repro.llm.errors_model` re-exports these helpers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+
+def stable_unit(seed: int, *identity: object) -> float:
+    """A deterministic pseudo-uniform value in [0, 1) for *identity*.
+
+    Identical ``(seed, identity)`` always yields the same value,
+    independent of call order — the property that makes temperature-0
+    error injection and seeded chaos reproducible.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(seed).encode("utf-8"))
+    for part in identity:
+        hasher.update(b"\x1f")
+        hasher.update(repr(part).encode("utf-8"))
+    (value,) = struct.unpack(">Q", hasher.digest()[:8])
+    return value / float(2**64)
+
+
+def stable_choice_index(seed: int, n: int, *identity: object) -> int:
+    """A deterministic index in ``range(n)`` for *identity*."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return int(stable_unit(seed, "choice", *identity) * n) % n

@@ -6,6 +6,12 @@ headless browser renders pages — meta-refresh and JavaScript redirects,
 until it reaches a stable final URL.  A plain HTTP client (``browser
 =False``) follows only the 30x hops, which is what the R&R ablation
 compares against.
+
+Fetches run under a :class:`~repro.resilience.policy.RetryPolicy`
+(transient failures — timeouts, resets, 5xx — are retried with backoff)
+behind per-host circuit breakers, and only *permanent* failures enter the
+negative cache: a URL that failed transiently is re-attemptable on the
+next ``resolve`` call instead of being remembered as dead forever.
 """
 
 from __future__ import annotations
@@ -13,14 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..config import ScraperConfig
-from ..errors import FetchError, URLError
+from ..config import ResilienceConfig, ScraperConfig
+from ..errors import CircuitOpenError, FetchError, URLError
 from ..logutil import get_logger
 from ..obs.registry import (
     DEFAULT_COUNT_BUCKETS,
     MetricsRegistry,
     get_registry,
 )
+from ..resilience.breaker import BreakerRegistry
+from ..resilience.policy import RetryPolicy
 from .http import HTTPResponse
 from .simweb import SimulatedWeb
 from .url import normalize_url, parse_url
@@ -37,6 +45,10 @@ class ScrapeResult:
     chain: Tuple[str, ...]
     ok: bool
     error: str = ""
+    #: Failed resolutions marked transient (timeouts, 5xx, open breaker)
+    #: may succeed if re-attempted; permanent ones (NXDOMAIN, loops,
+    #: HTTP 4xx final pages) will not.
+    transient: bool = False
 
     @property
     def hops(self) -> int:
@@ -61,12 +73,32 @@ class HeadlessScraper:
         config: Optional[ScraperConfig] = None,
         browser: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self._web = web
         self._config = (config or ScraperConfig()).validate()
         self._browser = browser
         self._registry = registry
+        self._resilience = (resilience or ResilienceConfig()).validate()
+        self._retry = RetryPolicy(
+            attempts=self._resilience.web_attempts,
+            base_delay=self._resilience.web_base_delay,
+            max_delay=self._resilience.web_max_delay,
+            multiplier=self._resilience.backoff_multiplier,
+            jitter=self._resilience.backoff_jitter,
+        )
+        self._breakers = BreakerRegistry(
+            failure_threshold=self._resilience.breaker_failure_threshold,
+            recovery_seconds=self._resilience.breaker_recovery_seconds,
+            half_open_max_calls=self._resilience.breaker_half_open_max_calls,
+            registry=registry,
+            prefix="web",
+        )
         self._cache: Dict[str, ScrapeResult] = {}
+        #: Transient failures live here, not in the permanent cache:
+        #: resolving the same URL again re-attempts it.
+        self._transient: Dict[str, ScrapeResult] = {}
+        self.reattempts = 0
 
     @property
     def _metrics(self) -> MetricsRegistry:
@@ -76,12 +108,17 @@ class HeadlessScraper:
     def browser_mode(self) -> bool:
         return self._browser
 
+    def breaker_states(self) -> Dict[str, str]:
+        """Current per-host circuit states (only hosts that failed vary)."""
+        return self._breakers.states()
+
     def resolve(self, url: str) -> ScrapeResult:
         """Follow *url* to its final destination.
 
         Never raises for web-level failures; the result's ``ok`` flag and
-        ``error`` string report dead hosts, loops and bad URLs — matching
-        the paper's accounting of unreachable PDB websites.
+        ``error`` string report dead hosts, loops, bad URLs and non-2xx
+        final pages — matching the paper's accounting of unreachable PDB
+        websites.
         """
         try:
             start = normalize_url(url)
@@ -95,8 +132,17 @@ class HeadlessScraper:
                 "web_resolve_total", "URL resolutions", outcome="cached"
             ).inc()
             return self._cache[start]
+        if start in self._transient:
+            self.reattempts += 1
+            self._metrics.counter(
+                "web_resolve_total", "URL resolutions", outcome="reattempt"
+            ).inc()
         result = self._resolve_chain(start)
-        self._cache[start] = result
+        if result.ok or not result.transient:
+            self._cache[start] = result
+            self._transient.pop(start, None)
+        else:
+            self._transient[start] = result
         metrics = self._metrics
         metrics.counter(
             "web_resolve_total", "URL resolutions",
@@ -115,17 +161,35 @@ class HeadlessScraper:
         current = start
         for _hop in range(self._config.max_redirect_hops):
             try:
-                self._metrics.counter(
-                    "web_fetch_total", "page fetches issued by the scraper"
-                ).inc()
-                response = self._web.fetch(current)
+                response = self._fetch_with_retry(current)
+            except CircuitOpenError as exc:
+                return ScrapeResult(
+                    requested_url=start, final_url=None,
+                    chain=tuple(chain), ok=False, error=str(exc),
+                    transient=True,
+                )
             except FetchError as exc:
                 return ScrapeResult(
                     requested_url=start, final_url=None,
                     chain=tuple(chain), ok=False, error=exc.reason,
+                    transient=exc.transient,
                 )
             target = self._next_target(response)
             if target is None:
+                if response.is_redirect:
+                    return ScrapeResult(
+                        requested_url=start, final_url=None,
+                        chain=tuple(chain), ok=False,
+                        error="redirect without location",
+                    )
+                if not response.ok:
+                    # A 404/4xx landing page is a *failed* resolution, not
+                    # a final website (the paper counts these unreachable).
+                    return ScrapeResult(
+                        requested_url=start, final_url=None,
+                        chain=tuple(chain), ok=False,
+                        error=f"http {response.status}",
+                    )
                 return ScrapeResult(
                     requested_url=start, final_url=current,
                     chain=tuple(chain), ok=True,
@@ -152,6 +216,54 @@ class HeadlessScraper:
             ok=False,
             error=f"redirect chain exceeded {self._config.max_redirect_hops} hops",
         )
+
+    def _fetch_with_retry(self, url: str) -> HTTPResponse:
+        """One page fetch under the retry policy and the host's breaker.
+
+        5xx responses are treated as transient fetch failures (retried,
+        counted against the breaker); an open breaker fails fast with
+        :class:`~repro.errors.CircuitOpenError`.
+        """
+        try:
+            host = parse_url(url).host
+        except URLError:
+            host = url
+        breaker = self._breakers.breaker(host)
+        metrics = self._metrics
+
+        def attempt() -> HTTPResponse:
+            if not breaker.allow():
+                raise CircuitOpenError(breaker.name)
+            metrics.counter(
+                "web_fetch_total", "page fetches issued by the scraper"
+            ).inc()
+            try:
+                response = self._web.fetch(url)
+            except FetchError as exc:
+                if exc.transient:
+                    breaker.record_failure()
+                raise
+            if response.status >= 500:
+                breaker.record_failure()
+                raise FetchError(
+                    url, f"server error {response.status}", transient=True
+                )
+            breaker.record_success()
+            return response
+
+        def on_retry(attempt_no: int, exc: BaseException, delay: float) -> None:
+            metrics.counter(
+                "web_fetch_retries_total", "transient fetch failures retried"
+            ).inc()
+            metrics.histogram(
+                "web_backoff_seconds", "backoff slept before a fetch retry"
+            ).observe(delay)
+            _LOG.debug(
+                "fetch %s failed (attempt %d/%d, retrying in %.3fs): %s",
+                url, attempt_no, self._retry.attempts, delay, exc,
+            )
+
+        return self._retry.execute(attempt, key=host, on_retry=on_retry)
 
     def _next_target(self, response: HTTPResponse) -> Optional[str]:
         """Where the browser goes next, or ``None`` if the page is final."""
@@ -192,7 +304,7 @@ class HeadlessScraper:
         return results
 
     def stats(self) -> Dict[str, int]:
-        resolved = list(self._cache.values())
+        resolved = list(self._cache.values()) + list(self._transient.values())
         return {
             "resolved": len(resolved),
             "reachable": sum(1 for r in resolved if r.ok),
@@ -200,4 +312,7 @@ class HeadlessScraper:
             "unique_final_urls": len(
                 {r.final_url for r in resolved if r.final_url}
             ),
+            "transient_failures": len(self._transient),
+            "reattempts": self.reattempts,
+            "breakers_tripped": self._breakers.open_count(),
         }

@@ -76,7 +76,10 @@ class Site:
     def respond(self, url: str) -> HTTPResponse:
         """Serve the response this site gives for *url*."""
         if not self.alive:
-            raise FetchError(url, "connection timed out")
+            # Timeouts are transient at the HTTP layer (the scraper may
+            # re-attempt them), even though a dead simulated site never
+            # actually recovers within a run.
+            raise FetchError(url, "connection timed out", transient=True)
         if self.redirect_kind != RedirectKind.NONE and self.redirect_target:
             return make_redirect_response(url, self.redirect_kind, self.redirect_target)
         return HTTPResponse(
