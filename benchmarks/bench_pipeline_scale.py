@@ -5,10 +5,12 @@ system's hot paths: generating a universe, running the full pipeline,
 scraping/resolving, and computing θ over large size vectors.
 """
 
+import time
+
 import pytest
 
 from repro.config import UniverseConfig
-from repro.core import BorgesPipeline
+from repro.core import ArtifactStore, BorgesPipeline
 from repro.metrics.org_factor import org_factor
 from repro.universe import generate_universe
 from repro.web.scraper import HeadlessScraper
@@ -36,6 +38,34 @@ def test_bench_full_pipeline(benchmark, small_universe):
 
     mapping = benchmark(run)
     assert len(mapping) > 0
+
+
+def test_bench_warm_cache_pipeline(benchmark, small_universe):
+    """Warm-cache runs against a primed artifact store, vs the cold run.
+
+    The benchmark proper measures the warm path (every stage served from
+    the content-addressed store); the one-off cold wall time that primed
+    the store is recorded in ``extra_info`` so trajectories can track the
+    cold/warm ratio.
+    """
+    store = ArtifactStore()
+
+    def run():
+        pipeline = BorgesPipeline(
+            small_universe.whois, small_universe.pdb, small_universe.web,
+            artifact_store=store,
+        )
+        return pipeline.run()
+
+    cold_start = time.perf_counter()
+    cold = run()
+    cold_seconds = time.perf_counter() - cold_start
+    assert all(r["status"] == "ok" for r in cold.stage_records)
+
+    warm = benchmark(run)
+    assert all(r["status"] == "cached" for r in warm.stage_records)
+    assert warm.mapping.clusters() == cold.mapping.clusters()
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
 
 
 def test_bench_scraper_resolution(benchmark, small_universe):

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI warm-cache check: run the pipeline twice against one artifact cache.
+
+The second run must be served (almost) entirely from the content-addressed
+store — ≥90 % of stages cached — while reproducing the exact same θ and a
+byte-identical mapping.  Run from the repository root::
+
+    python scripts/warm_cache_check.py
+
+Exits non-zero (with a diagnostic) on any violation, so the CI job fails
+loudly when an artifact fingerprint stops being stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+MIN_CACHED_FRACTION = 0.90
+THETA_RE = re.compile(r"organization factor \(theta\): ([0-9.]+)")
+
+
+def run_pipeline(label: str, tmp: Path, cache: Path) -> dict:
+    mapping = tmp / f"mapping-{label}.json"
+    manifest = tmp / f"manifest-{label}.json"
+    cmd = [
+        sys.executable, "-m", "repro.cli",
+        "--telemetry-out", str(manifest),
+        "run",
+        "--artifact-cache", str(cache),
+        "--save-mapping", str(mapping),
+    ]
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    start = time.perf_counter()
+    proc = subprocess.run(
+        cmd, cwd=ROOT, env=env, check=True,
+        stdout=subprocess.PIPE, text=True,
+    )
+    elapsed = time.perf_counter() - start
+    match = THETA_RE.search(proc.stdout)
+    if match is None:
+        sys.exit(f"{label} run printed no theta:\n{proc.stdout}")
+    stages = json.loads(manifest.read_text(encoding="utf-8"))["stages"]
+    return {
+        "label": label,
+        "seconds": elapsed,
+        "theta": match.group(1),
+        "mapping_bytes": mapping.read_bytes(),
+        "stages": stages,
+    }
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="borges-warm-check-"))
+    cache = tmp / "artifact-cache"
+    cold = run_pipeline("cold", tmp, cache)
+    warm = run_pipeline("warm", tmp, cache)
+
+    failures = []
+    cached = sum(1 for s in warm["stages"] if s["status"] == "cached")
+    fraction = cached / len(warm["stages"]) if warm["stages"] else 0.0
+    if fraction < MIN_CACHED_FRACTION:
+        statuses = {s["stage"]: s["status"] for s in warm["stages"]}
+        failures.append(
+            f"warm run only {cached}/{len(warm['stages'])} stages cached "
+            f"({100 * fraction:.0f}% < {100 * MIN_CACHED_FRACTION:.0f}%): "
+            f"{statuses}"
+        )
+    if warm["theta"] != cold["theta"]:
+        failures.append(
+            f"theta drifted across the cache: cold {cold['theta']} "
+            f"vs warm {warm['theta']}"
+        )
+    if warm["mapping_bytes"] != cold["mapping_bytes"]:
+        failures.append("warm mapping is not byte-identical to the cold one")
+
+    print(
+        f"cold run: {cold['seconds']:.2f}s, warm run: {warm['seconds']:.2f}s "
+        f"({cached}/{len(warm['stages'])} stages cached, theta {warm['theta']})"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("warm-cache check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..baselines import build_as2org_mapping, build_as2orgplus_mapping
 from ..config import BorgesConfig, all_feature_combos, feature_combo_label
+from ..core.artifacts import ArtifactStore
 from ..core.pipeline import BorgesPipeline
 from ..llm.cache import ResponseCache
 from ..llm.simulated import make_default_client
@@ -29,15 +30,23 @@ def factor_combination_table(
     web: SimulatedWeb,
     config: Optional[BorgesConfig] = None,
     normalization: str = "normalized",
+    client=None,
+    artifact_store: Optional[ArtifactStore] = None,
 ) -> List[Dict[str, object]]:
     """θ for the baselines and all 16 feature subsets (Table 6).
 
-    A shared LLM cache makes the sweep cheap: the notes/aka and favicon
-    prompts are identical across combinations, so the model runs once.
+    A shared artifact store makes the sweep cheap at the stage level:
+    feature-stage fingerprints don't depend on which *other* features are
+    enabled, so the shared scrape and NER extraction run exactly once
+    across all 16 combinations and every later combo reuses the cached
+    artifacts.  A shared LLM cache backs that up one level down (the
+    notes/aka and favicon prompts are identical across combinations).
     """
     base_config = (config or BorgesConfig()).validate()
-    cache = ResponseCache()
-    client = make_default_client(base_config.llm, cache=cache)
+    if client is None:
+        client = make_default_client(base_config.llm, cache=ResponseCache())
+    if artifact_store is None:
+        artifact_store = ArtifactStore()
 
     rows: List[Dict[str, object]] = []
     as2org = build_as2org_mapping(whois)
@@ -63,7 +72,8 @@ def factor_combination_table(
             continue  # the empty subset is AS2Org itself
         combo_config = base_config.with_features(*combo)
         pipeline = BorgesPipeline(
-            whois, pdb, web, config=combo_config, client=client
+            whois, pdb, web, config=combo_config, client=client,
+            artifact_store=artifact_store,
         )
         mapping = pipeline.run().mapping
         theta = org_factor_from_mapping(mapping, normalization)

@@ -9,15 +9,21 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..config import TABLE_FEATURE_ORDER
 from ..core.pipeline import BorgesResult
 
-#: Table 3's row order and display labels.
-ROW_ORDER = (
-    ("oid_p", "OID_P"),
-    ("oid_w", "OID_W"),
-    ("notes_aka", "notes and aka"),
-    ("rr", "R&R"),
-    ("favicons", "Favicons"),
+#: Display labels per feature; row order comes from the canonical
+#: feature order in :data:`repro.config.TABLE_FEATURE_ORDER`.
+_LABELS = {
+    "oid_p": "OID_P",
+    "oid_w": "OID_W",
+    "notes_aka": "notes and aka",
+    "rr": "R&R",
+    "favicons": "Favicons",
+}
+
+ROW_ORDER = tuple(
+    (name, _LABELS.get(name, name)) for name in TABLE_FEATURE_ORDER
 )
 
 

@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 from . import __version__
 from .baselines import build_as2org_mapping, build_as2orgplus_mapping
 from .config import ALL_FEATURES, BorgesConfig, UniverseConfig
-from .core import BorgesPipeline
+from .core import ALL_STAGES, BorgesPipeline
 from .experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from .logutil import setup_logging
 from .metrics import org_factor_from_mapping
@@ -103,6 +103,32 @@ def build_parser() -> argparse.ArgumentParser:
             "universe; without a web driver the web features are skipped"
         ),
     )
+    run.add_argument(
+        "--stages",
+        nargs="*",
+        choices=sorted(ALL_STAGES),
+        metavar="STAGE",
+        default=None,
+        help=(
+            "restrict the run to these stages (plus their dependencies "
+            "and the backbone); see --explain-plan for stage names"
+        ),
+    )
+    run.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the stage plan (order, deps, cache status) and exit",
+    )
+    run.add_argument(
+        "--artifact-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist stage artifacts to DIR; a re-run with the same "
+            "inputs is served from cache instead of recomputing"
+        ),
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
@@ -130,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         action="store_true",
         help="also print metrics in Prometheus text format",
+    )
+    telemetry.add_argument(
+        "--artifact-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="use a persistent stage-artifact cache at DIR",
     )
 
     sub.add_parser(
@@ -179,12 +212,38 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _artifact_store(args: argparse.Namespace):
+    if getattr(args, "artifact_cache", None) is None:
+        return None
+    from .core import ArtifactStore
+
+    return ArtifactStore(root=args.artifact_cache)
+
+
+def _stage_summary_lines(result) -> Sequence[str]:
+    records = result.stage_records
+    cached = sum(1 for r in records if r["status"] == "cached")
+    lines = [
+        f"stages: {len(records)} planned, {cached} served from cache, "
+        f"{sum(1 for r in records if r['status'] == 'ok')} computed"
+    ]
+    for record in records:
+        duration_ms = 1000.0 * float(record.get("duration_seconds", 0.0))
+        lines.append(
+            f"  {record['stage']:<12} {record['status']:<8} "
+            f"{(record['source'] or '-'):<9} {duration_ms:>8.1f} ms  "
+            f"[{record['fingerprint'][:12]}]"
+        )
+    return lines
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .web.simweb import SimulatedWeb
 
     config = _borges_config(args)
     if args.features is not None:
         config = config.with_features(*args.features)
+    store = _artifact_store(args)
     if args.from_datasets is not None:
         from .peeringdb import load_snapshot
         from .whois import load_as2org_file
@@ -201,12 +260,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "note: no web driver for dataset files — running with "
                 "features oid_p + notes_aka"
             )
-        pipeline = BorgesPipeline(whois, pdb, web, config)
+        pipeline = BorgesPipeline(whois, pdb, web, config, artifact_store=store)
     else:
         universe = generate_universe(_universe_config(args))
         whois, pdb, web = universe.whois, universe.pdb, universe.web
-        pipeline = BorgesPipeline(whois, pdb, web, config)
-    result = pipeline.run()
+        pipeline = BorgesPipeline(whois, pdb, web, config, artifact_store=store)
+    if args.explain_plan:
+        print(pipeline.explain_plan(args.stages))
+        return 0
+    result = pipeline.run(stages=args.stages)
     _RUN_ARTIFACTS.update(
         config=pipeline.config, result=result, client=pipeline.client
     )
@@ -226,6 +288,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{usage.total_tokens:,} tokens (~${usage.cost_usd():.4f})"
     )
     print(_cache_summary_line(result.diagnostics.get("llm_cache", {})))
+    if store is not None:
+        for line in _stage_summary_lines(result):
+            print(line)
     if args.save_mapping:
         result.mapping.save(args.save_mapping)
         print(f"mapping saved to {args.save_mapping}")
@@ -278,12 +343,16 @@ def _print_span_tree(spans, indent: int = 0) -> None:
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     universe = generate_universe(_universe_config(args))
     pipeline = BorgesPipeline(
-        universe.whois, universe.pdb, universe.web, _borges_config(args)
+        universe.whois, universe.pdb, universe.web, _borges_config(args),
+        artifact_store=_artifact_store(args),
     )
     result = pipeline.run()
     _RUN_ARTIFACTS.update(
         config=pipeline.config, result=result, client=pipeline.client
     )
+    print("stage execution:")
+    for line in _stage_summary_lines(result):
+        print(line)
     print("stage timings:")
     _print_span_tree(get_tracer().spans())
     usage = pipeline.client.total_usage

@@ -25,9 +25,23 @@ FEATURE_OID_P = "oid_p"
 FEATURE_NOTES_AKA = "notes_aka"
 FEATURE_RR = "rr"
 FEATURE_FAVICONS = "favicons"
+#: The compulsory WHOIS backbone; always on, never in ``features``.
+FEATURE_OID_W = "oid_w"
 
 ALL_FEATURES: Tuple[str, ...] = (
     FEATURE_OID_P,
+    FEATURE_NOTES_AKA,
+    FEATURE_RR,
+    FEATURE_FAVICONS,
+)
+
+#: Canonical display order of every feature (Table 3 rows,
+#: ``BorgesResult.feature_table``, and :func:`feature_combo_label` all
+#: derive from this single tuple so they cannot drift when a feature is
+#: added).
+TABLE_FEATURE_ORDER: Tuple[str, ...] = (
+    FEATURE_OID_P,
+    FEATURE_OID_W,
     FEATURE_NOTES_AKA,
     FEATURE_RR,
     FEATURE_FAVICONS,
@@ -152,6 +166,27 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class ExecutorConfig:
+    """Stage-DAG execution knobs.
+
+    ``max_workers`` bounds how many *independent* ready stages run
+    concurrently; stages sharing a resource (the LLM client, the web
+    driver) are serialised regardless, and an active fault profile forces
+    sequential execution so seeded chaos stays a pure function of call
+    order.  ``artifact_cache_dir`` persists stage artifacts to disk so a
+    later process re-runs warm (the CLI's ``--artifact-cache``).
+    """
+
+    max_workers: int = 4
+    artifact_cache_dir: str = ""
+
+    def validate(self) -> "ExecutorConfig":
+        if self.max_workers < 1:
+            raise ConfigError("max_workers must be >= 1")
+        return self
+
+
+@dataclass(frozen=True)
 class BorgesConfig:
     """Full pipeline configuration.
 
@@ -173,6 +208,7 @@ class BorgesConfig:
     llm: LLMConfig = field(default_factory=LLMConfig)
     scraper: ScraperConfig = field(default_factory=ScraperConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
 
     def validate(self) -> "BorgesConfig":
         unknown = self.features - set(ALL_FEATURES)
@@ -181,6 +217,7 @@ class BorgesConfig:
         self.llm.validate()
         self.scraper.validate()
         self.resilience.validate()
+        self.executor.validate()
         return self
 
     def with_fault_profile(self, name: str) -> "BorgesConfig":
@@ -309,7 +346,7 @@ TEST_UNIVERSE = UniverseConfig(seed=7, n_organizations=400, total_users=20_000_0
 
 def feature_combo_label(features: FrozenSet[str]) -> str:
     """Human-readable label for a feature subset, Table-6 style."""
-    order = {name: i for i, name in enumerate(ALL_FEATURES)}
+    order = {name: i for i, name in enumerate(TABLE_FEATURE_ORDER)}
     pretty = {
         FEATURE_OID_P: "OID_P",
         FEATURE_NOTES_AKA: "N&A",

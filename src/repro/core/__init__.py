@@ -6,18 +6,27 @@ matching and favicon classification (§4.3) — consolidated into one
 AS-to-Organization mapping by transitive merging.
 """
 
+from .artifacts import Artifact, ArtifactStore, compute_fingerprint
 from .evidence import Evidence, MappingExplainer, collect_evidence
+from .executor import ExecutionOutcome, StageExecutor, StageRecord
 from .mapping import OrgMapping
 from .merge import UnionFind, merge_clusters
 from .org_keys import oid_p_clusters, oid_w_clusters
 from .ner import NERModule, NERRecordResult
+from .stages import ALL_STAGES, StageContext, StageSpec, build_stage_graph
 from .web_inference import WebInferenceModule, WebInferenceResult
 from .pipeline import BorgesPipeline, BorgesResult, FeatureClusters
 
 __all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "compute_fingerprint",
     "Evidence",
     "MappingExplainer",
     "collect_evidence",
+    "ExecutionOutcome",
+    "StageExecutor",
+    "StageRecord",
     "OrgMapping",
     "UnionFind",
     "merge_clusters",
@@ -25,6 +34,10 @@ __all__ = [
     "oid_w_clusters",
     "NERModule",
     "NERRecordResult",
+    "ALL_STAGES",
+    "StageContext",
+    "StageSpec",
+    "build_stage_graph",
     "WebInferenceModule",
     "WebInferenceResult",
     "BorgesPipeline",

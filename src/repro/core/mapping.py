@@ -148,7 +148,11 @@ class OrgMapping:
         }
 
     def save(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.to_json()), encoding="utf-8")
+        # sort_keys so the bytes don't depend on dict insertion order —
+        # two runs producing the same mapping save identical files.
+        Path(path).write_text(
+            json.dumps(self.to_json(), sort_keys=True), encoding="utf-8"
+        )
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "OrgMapping":

@@ -1,24 +1,26 @@
-"""The Borges pipeline: run features, consolidate, emit the mapping.
+"""The Borges pipeline: a thin facade over the stage DAG.
 
 :class:`BorgesPipeline` wires the four features (§3) over a WHOIS
-dataset + PeeringDB snapshot + web driver and produces a
-:class:`BorgesResult`: per-feature clusters (Table 3's unit), the final
-consolidated :class:`~repro.core.mapping.OrgMapping`, and module-level
-diagnostics.
+dataset + PeeringDB snapshot + web driver, then delegates execution to
+the declarative stage graph (:mod:`repro.core.stages`) driven by the
+:class:`~repro.core.executor.StageExecutor`: topological order, cached
+artifacts, concurrent independent stages, per-stage isolation.  The
+result is a :class:`BorgesResult`: per-feature clusters (Table 3's
+unit), the final consolidated :class:`~repro.core.mapping.OrgMapping`,
+per-stage execution records, and module-level diagnostics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence
 
 from ..config import (
-    FEATURE_FAVICONS,
-    FEATURE_NOTES_AKA,
-    FEATURE_OID_P,
-    FEATURE_RR,
+    TABLE_FEATURE_ORDER,
     BorgesConfig,
 )
+from ..digest import dataset_digest
 from ..llm.client import ChatClient
 from ..llm.simulated import make_default_client
 from ..logutil import get_logger
@@ -30,15 +32,32 @@ from ..resilience.faults import (
     FaultyWeb,
     resolve_fault_profile,
 )
-from ..types import ASN, Cluster
+from ..types import Cluster
 from ..web.favicon import FaviconAPI
 from ..web.scraper import HeadlessScraper
 from ..web.simweb import SimulatedWeb
 from ..whois import WhoisDataset
+from .artifacts import ArtifactStore
+from .executor import ExecutionOutcome, StageExecutor
 from .mapping import OrgMapping
+from .merge import merge_clusters
 from .ner import NERModule, NERRecordResult
-from .org_keys import oid_p_clusters, oid_w_clusters
-from .web_inference import WebInferenceModule, WebInferenceResult
+from .org_keys import oid_p_clusters, oid_w_clusters  # noqa: F401 - re-export
+from .stages import (
+    STAGE_FAVICONS,
+    STAGE_MERGE,
+    STAGE_NER_EXTRACT,
+    STAGE_RR,
+    STAGE_SCRAPE,
+    StageContext,
+    build_stage_graph,
+    stage_clusters,
+)
+from .web_inference import (
+    _FAVICON_STAT_FIELDS,
+    WebInferenceModule,
+    WebInferenceResult,
+)
 
 _LOG = get_logger("core.pipeline")
 
@@ -58,11 +77,13 @@ class FeatureClusters:
             members.update(cluster)
         return len(members)
 
-    @property
+    @cached_property
     def org_count(self) -> int:
-        """Number of organizations after consolidating within the feature."""
-        from .merge import merge_clusters
+        """Number of organizations after consolidating within the feature.
 
+        Cached: the union-find pass is O(total cluster size) and callers
+        (Table 3, the CLI summary, the manifest) read it repeatedly.
+        """
         return len(merge_clusters([self.clusters]))
 
 
@@ -82,11 +103,19 @@ class BorgesResult:
     degraded: bool = False
     #: feature name → one-line error, for every feature that failed.
     feature_errors: Dict[str, str] = field(default_factory=dict)
+    #: Per-stage execution records (status, cache source, fingerprint,
+    #: duration) in graph order — the DAG's own accounting.
+    stage_records: List[Dict[str, object]] = field(default_factory=list)
 
     def feature_table(self) -> List[Dict[str, object]]:
-        """Rows shaped like Table 3 (source, #ASes, #orgs)."""
+        """Rows shaped like Table 3 (source, #ASes, #orgs).
+
+        Row order comes from the canonical feature order in
+        :data:`repro.config.TABLE_FEATURE_ORDER` — the same order that
+        drives combo labels — not a second hard-coded list.
+        """
         rows = []
-        for name in ("oid_p", "oid_w", "notes_aka", "rr", "favicons"):
+        for name in TABLE_FEATURE_ORDER:
             feature = self.features.get(name)
             if feature is None:
                 continue
@@ -106,6 +135,12 @@ class BorgesPipeline:
     ``web`` may be any object accepted by :class:`HeadlessScraper` /
     :class:`FaviconAPI` (the simulated web offline; a real HTTP driver in
     production).  ``client`` defaults to the offline simulated LLM.
+
+    ``artifact_store`` optionally shares one content-addressed cache
+    across runs (and across pipelines — the Table-6 sweep reuses the
+    scrape and NER artifacts across all 16 feature combinations).  When
+    omitted, every :meth:`run` gets a fresh store — or a disk-backed one
+    when ``config.executor.artifact_cache_dir`` is set.
     """
 
     def __init__(
@@ -117,13 +152,23 @@ class BorgesPipeline:
         client: Optional[ChatClient] = None,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        artifact_store: Optional[ArtifactStore] = None,
     ) -> None:
         self._whois = whois
         self._pdb = pdb
         self._config = (config or BorgesConfig()).validate()
+        # Digests anchor artifact fingerprints; the web digest is taken
+        # before any fault wrapper so chaos cannot silently change the
+        # address of a clean artifact (the fault salt does that, loudly).
+        self._dataset_digests = {
+            "whois": dataset_digest(whois),
+            "pdb": dataset_digest(pdb),
+            "web": dataset_digest(web),
+        }
         resilience = self._config.resilience
         self._fault_profile = resolve_fault_profile(resilience.fault_profile)
         self._fault_injector: Optional[FaultInjector] = None
+        self._fingerprint_salt: Optional[Dict[str, object]] = None
         if self._fault_profile.active:
             # One shared injector across both flaky surfaces, so the
             # run's chaos is a pure function of (profile, fault_seed) and
@@ -134,6 +179,12 @@ class BorgesPipeline:
                 registry=registry,
             )
             web = FaultyWeb(web, self._fault_injector)
+            # Artifacts computed amid injected faults must not collide
+            # with clean ones: mix the chaos identity into every address.
+            self._fingerprint_salt = {
+                "fault_profile": self._fault_profile.name,
+                "fault_seed": resilience.fault_seed,
+            }
         self._client = client or make_default_client(
             self._config.llm,
             resilience=resilience,
@@ -142,6 +193,7 @@ class BorgesPipeline:
         )
         self._tracer = tracer
         self._registry = registry
+        self._artifact_store = artifact_store
         self._scraper = HeadlessScraper(
             web, config=self._config.scraper, registry=registry,
             resilience=resilience,
@@ -169,102 +221,117 @@ class BorgesPipeline:
     def _metrics(self) -> MetricsRegistry:
         return self._registry if self._registry is not None else get_registry()
 
-    def run(self) -> BorgesResult:
-        """Execute every enabled feature and consolidate."""
+    # -- DAG plumbing ------------------------------------------------------
+
+    def _stage_context(self) -> StageContext:
+        return StageContext(
+            whois=self._whois,
+            pdb=self._pdb,
+            config=self._config,
+            client=self._client,
+            ner=self._ner,
+            web_module=self._web_module,
+            tracer=self._tracer,
+            registry=self._registry,
+            dataset_digests=dict(self._dataset_digests),
+        )
+
+    def _run_store(self) -> ArtifactStore:
+        if self._artifact_store is not None:
+            return self._artifact_store
+        cache_dir = self._config.executor.artifact_cache_dir
+        if cache_dir:
+            return ArtifactStore(root=cache_dir)
+        return ArtifactStore()
+
+    def _make_executor(
+        self,
+        store: ArtifactStore,
+        stages: Optional[Sequence[str]] = None,
+    ) -> StageExecutor:
+        graph = build_stage_graph(self._config, targets=stages)
+        # The fault injector's burst state depends on call order, so
+        # chaos runs are forced sequential to stay a pure function of
+        # (profile, seed).
+        max_workers = (
+            1
+            if self._fault_injector is not None
+            else self._config.executor.max_workers
+        )
+        return StageExecutor(
+            graph,
+            store,
+            self._stage_context(),
+            max_workers=max_workers,
+            salt=self._fingerprint_salt,
+        )
+
+    def plan(
+        self, stages: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, object]]:
+        """The stage plan — order, dependencies, cache status — without
+        executing anything (fingerprints are input-addressed)."""
+        return self._make_executor(self._run_store(), stages).plan()
+
+    def explain_plan(self, stages: Optional[Sequence[str]] = None) -> str:
+        """Human-readable :meth:`plan`, for the CLI's ``--explain-plan``."""
+        rows = self.plan(stages)
+        width = max(len(r["stage"]) for r in rows)
+        lines = ["stage".ljust(width) + "  cache   deps"]
+        for row in rows:
+            cached = row["cached"] or "miss"
+            deps = ", ".join(row["deps"]) or "-"
+            marker = "*" if row["backbone"] else " "
+            lines.append(
+                f"{row['stage'].ljust(width)}{marker} {cached:<7} {deps}"
+                f"  [{row['fingerprint'][:12]}]"
+            )
+        lines.append("(* = backbone stage; failure aborts the run)")
+        return "\n".join(lines)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, stages: Optional[Sequence[str]] = None) -> BorgesResult:
+        """Execute the stage DAG and consolidate the surviving features.
+
+        *stages* optionally restricts the run to a stage subset plus its
+        transitive dependencies and the backbone (the CLI's ``--stages``).
+        """
+        store = self._run_store()
+        executor = self._make_executor(store, stages)
         with self._spans.span(
             "pipeline.run", features=sorted(self._config.features)
         ):
-            return self._run_features()
+            outcome = executor.execute()
+        return self._assemble_result(executor, outcome, store)
 
-    def _run_features(self) -> BorgesResult:
-        config = self._config
-        spans = self._spans
+    def _assemble_result(
+        self,
+        executor: StageExecutor,
+        outcome: ExecutionOutcome,
+        store: ArtifactStore,
+    ) -> BorgesResult:
+        graph = executor.graph
         features: Dict[str, FeatureClusters] = {}
         failures: Dict[str, str] = {}
-
-        def guard(name, fn):
-            """Run one optional feature in an isolation boundary.
-
-            A failure is recorded against *name* and the run continues:
-            the mapping is consolidated from whatever features survive.
-            """
-            try:
-                return fn()
-            except Exception as exc:  # noqa: BLE001 - boundary by design
-                failures[name] = f"{type(exc).__name__}: {exc}"
-                self._metrics.counter(
-                    "pipeline_feature_failures_total",
-                    "features lost to errors (run degraded)",
-                    feature=name,
-                ).inc()
-                _LOG.warning(
-                    "feature %s failed, continuing degraded: %s", name, exc
+        for name, spec in graph.items():
+            record = outcome.records[name]
+            if spec.feature is None:
+                continue
+            if record.status in ("ok", "cached"):
+                features[spec.feature] = FeatureClusters(
+                    spec.feature, stage_clusters(outcome.values[name])
                 )
-                return None
+            else:
+                failures[spec.feature] = record.error
 
-        # oid_w is the backbone (it defines the universe); it is not an
-        # optional feature and its failure aborts the run.
-        with spans.span("feature.oid_w"):
-            features["oid_w"] = FeatureClusters(
-                "oid_w", oid_w_clusters(self._whois)
-            )
-        ner_results: List[NERRecordResult] = []
-        web_result: Optional[WebInferenceResult] = None
+        ner_value = outcome.values.get(STAGE_NER_EXTRACT)
+        ner_results: List[NERRecordResult] = (
+            list(ner_value["records"]) if ner_value else []
+        )
+        web_result = self._assemble_web_result(outcome)
+        mapping: OrgMapping = outcome.values[STAGE_MERGE]
 
-        if config.has(FEATURE_OID_P):
-            def run_oid_p():
-                with spans.span("feature.oid_p"):
-                    return FeatureClusters(
-                        FEATURE_OID_P, oid_p_clusters(self._pdb)
-                    )
-
-            clusters = guard(FEATURE_OID_P, run_oid_p)
-            if clusters is not None:
-                features[FEATURE_OID_P] = clusters
-        if config.has(FEATURE_NOTES_AKA):
-            def run_notes_aka():
-                with spans.span("feature.notes_aka") as span:
-                    results = self._ner.run(self._pdb)
-                    span.set_attribute(
-                        "records_queried", self._ner.stats.records_queried
-                    )
-                    return results
-
-            ner_results = guard(FEATURE_NOTES_AKA, run_notes_aka) or []
-            if FEATURE_NOTES_AKA not in failures:
-                features[FEATURE_NOTES_AKA] = FeatureClusters(
-                    FEATURE_NOTES_AKA, self._ner.clusters(ner_results)
-                )
-        if config.has(FEATURE_RR) or config.has(FEATURE_FAVICONS):
-            # WebInferenceModule opens the feature.rr/feature.favicons
-            # spans itself (the scrape stage is shared between them).
-            want_favicons = config.has(FEATURE_FAVICONS)
-            boundary = FEATURE_FAVICONS if want_favicons else FEATURE_RR
-            web_result = guard(
-                boundary,
-                lambda: self._web_module.run(self._pdb, favicons=want_favicons),
-            )
-            if web_result is None and want_favicons and config.has(FEATURE_RR):
-                # Salvage rr without the favicon stage: the scraper and
-                # LLM caches persist, so the re-run only redoes the part
-                # that did not complete.
-                web_result = guard(
-                    FEATURE_RR,
-                    lambda: self._web_module.run(self._pdb, favicons=False),
-                )
-            if web_result is not None:
-                if config.has(FEATURE_RR) and FEATURE_RR not in failures:
-                    features[FEATURE_RR] = FeatureClusters(
-                        FEATURE_RR, web_result.rr_clusters
-                    )
-                if want_favicons and FEATURE_FAVICONS not in failures:
-                    features[FEATURE_FAVICONS] = FeatureClusters(
-                        FEATURE_FAVICONS, web_result.favicon_clusters
-                    )
-
-        with spans.span("pipeline.merge") as span:
-            mapping = self.build_mapping(features)
-            span.set_attribute("orgs", len(mapping))
         for name, feature in features.items():
             self._metrics.gauge(
                 "pipeline_feature_clusters", "clusters emitted per feature",
@@ -276,15 +343,47 @@ class BorgesPipeline:
         self._metrics.gauge(
             "pipeline_degraded", "1 when the last run lost features"
         ).set(1 if failures else 0)
+
+        diagnostics = self._diagnostics(web_result, failures)
+        diagnostics["artifact_cache"] = store.stats()
         return BorgesResult(
             mapping=mapping,
             features=features,
             ner_results=ner_results,
             web_result=web_result,
-            diagnostics=self._diagnostics(web_result, failures),
+            diagnostics=diagnostics,
             degraded=bool(failures),
             feature_errors=dict(failures),
+            stage_records=[r.to_dict() for r in outcome.records.values()],
         )
+
+    def _assemble_web_result(
+        self, outcome: ExecutionOutcome
+    ) -> Optional[WebInferenceResult]:
+        """Rebuild the legacy :class:`WebInferenceResult` view from the
+        scrape/rr/favicons artifacts (diagnostics and evidence consumers
+        still read it)."""
+        scrape_value = outcome.values.get(STAGE_SCRAPE)
+        if scrape_value is None:
+            return None
+        web_result = WebInferenceResult()
+        web_result.final_url_of_asn = dict(scrape_value["final_url_of_asn"])
+        for name, value in scrape_value["stats"].items():
+            if hasattr(web_result.stats, name):
+                setattr(web_result.stats, name, value)
+        rr_value = outcome.values.get(STAGE_RR)
+        if rr_value is not None:
+            web_result.rr_clusters = list(rr_value["clusters"])
+            web_result.stats.blocked_final_urls = rr_value["blocked_final_urls"]
+        favicon_value = outcome.values.get(STAGE_FAVICONS)
+        if favicon_value is not None:
+            web_result.favicon_clusters = list(favicon_value["clusters"])
+            web_result.decisions = list(favicon_value["decisions"])
+            for name in _FAVICON_STAT_FIELDS:
+                setattr(
+                    web_result.stats, name, getattr(favicon_value["stats"], name)
+                )
+        return web_result
 
     def _diagnostics(
         self,

@@ -33,6 +33,17 @@ from ..web.url import brand_label
 
 _LOG = get_logger("core.web_inference")
 
+#: WebInferenceStats fields owned by the favicon phase (the rest belong
+#: to the scrape and R&R phases).
+_FAVICON_STAT_FIELDS = (
+    "favicons_fetched",
+    "unique_favicons",
+    "shared_favicon_groups",
+    "same_subdomain_groups",
+    "llm_groups_accepted",
+    "llm_groups_rejected",
+)
+
 
 @dataclass
 class WebInferenceStats:
@@ -107,40 +118,14 @@ class WebInferenceModule:
         result = WebInferenceResult()
         stats = result.stats
 
-        # -- scrape: URL per net → final URL ------------------------------
-        with self._spans.span("web.scrape") as span:
-            url_to_asns: Dict[str, List[ASN]] = {}
-            for net in pdb.nets_with_websites():
-                stats.nets_with_website += 1
-                url_to_asns.setdefault(net.website.strip(), []).append(net.asn)
-            stats.unique_urls = len(url_to_asns)
-
-            final_of_asn: Dict[ASN, URL] = {}
-            for raw_url, asns in sorted(url_to_asns.items()):
-                scrape = self._scraper.resolve(raw_url)
-                if not scrape.ok or not scrape.final_url:
-                    continue
-                stats.reachable_urls += 1
-                for asn in asns:
-                    final_of_asn[asn] = scrape.final_url
-            result.final_url_of_asn = final_of_asn
-            stats.unique_final_urls = len(set(final_of_asn.values()))
-            span.set_attribute("unique_urls", stats.unique_urls)
-            span.set_attribute("reachable_urls", stats.reachable_urls)
+        final_of_asn, scrape_stats = self.scrape_urls(pdb)
+        result.final_url_of_asn = final_of_asn
+        for name, value in scrape_stats.items():
+            setattr(stats, name, value)
 
         # -- R&R: group by final URL (§4.3.2) ------------------------------
         with self._spans.span("feature.rr") as span:
-            by_final: Dict[URL, List[ASN]] = {}
-            for asn, final_url in sorted(final_of_asn.items()):
-                if self._config.apply_blocklists and is_blocked_final_url(final_url):
-                    stats.blocked_final_urls += 1
-                    self._metrics.counter(
-                        "web_blocklist_rejections_total",
-                        "URLs dropped by the Appendix-D blocklists",
-                        list="final_url",
-                    ).inc()
-                    continue
-                by_final.setdefault(final_url, []).append(asn)
+            by_final, stats.blocked_final_urls = self.rr_grouping(final_of_asn)
             result.rr_clusters = [
                 frozenset(asns) for asns in by_final.values()
             ]
@@ -150,14 +135,84 @@ class WebInferenceModule:
         # -- favicons (§4.3.3) ------------------------------------------------
         if favicons:
             with self._spans.span("feature.favicons") as span:
-                result.favicon_clusters = self._favicon_stage(
-                    by_final, result, stats
-                )
+                clusters, decisions, favicon_stats = self.favicon_stage(by_final)
+                result.favicon_clusters = clusters
+                result.decisions.extend(decisions)
+                for name in _FAVICON_STAT_FIELDS:
+                    setattr(stats, name, getattr(favicon_stats, name))
                 span.set_attribute("clusters", len(result.favicon_clusters))
                 span.set_attribute(
                     "shared_favicon_groups", stats.shared_favicon_groups
                 )
         return result
+
+    # -- DAG-facing phases ---------------------------------------------------
+    #
+    # The stage DAG runs the three §4.3 phases as separate, individually
+    # cached stages (scrape → rr, scrape → favicons), so each one is also
+    # exposed as a standalone method.  ``run`` above composes them for
+    # direct module users.
+
+    def scrape_urls(
+        self, pdb: PDBSnapshot
+    ) -> Tuple[Dict[ASN, URL], Dict[str, int]]:
+        """Resolve every PDB website to its final URL (the shared stage)."""
+        with self._spans.span("web.scrape") as span:
+            url_to_asns: Dict[str, List[ASN]] = {}
+            nets_with_website = 0
+            for net in pdb.nets_with_websites():
+                nets_with_website += 1
+                url_to_asns.setdefault(net.website.strip(), []).append(net.asn)
+
+            final_of_asn: Dict[ASN, URL] = {}
+            reachable = 0
+            for raw_url, asns in sorted(url_to_asns.items()):
+                scrape = self._scraper.resolve(raw_url)
+                if not scrape.ok or not scrape.final_url:
+                    continue
+                reachable += 1
+                for asn in asns:
+                    final_of_asn[asn] = scrape.final_url
+            stats = {
+                "nets_with_website": nets_with_website,
+                "unique_urls": len(url_to_asns),
+                "reachable_urls": reachable,
+                "unique_final_urls": len(set(final_of_asn.values())),
+            }
+            span.set_attribute("unique_urls", stats["unique_urls"])
+            span.set_attribute("reachable_urls", stats["reachable_urls"])
+        return final_of_asn, stats
+
+    def rr_grouping(
+        self, final_of_asn: Dict[ASN, URL]
+    ) -> Tuple[Dict[URL, List[ASN]], int]:
+        """Group ASNs by final URL after the Appendix-D.2 blocklist.
+
+        Returns the grouping plus the blocked-URL count.  Cheap pure
+        dictionary work, so the favicon stage recomputes it from the
+        scrape artifact rather than depending on the rr stage.
+        """
+        by_final: Dict[URL, List[ASN]] = {}
+        blocked = 0
+        for asn, final_url in sorted(final_of_asn.items()):
+            if self._config.apply_blocklists and is_blocked_final_url(final_url):
+                blocked += 1
+                self._metrics.counter(
+                    "web_blocklist_rejections_total",
+                    "URLs dropped by the Appendix-D blocklists",
+                    list="final_url",
+                ).inc()
+                continue
+            by_final.setdefault(final_url, []).append(asn)
+        return by_final, blocked
+
+    def favicon_stage(
+        self, by_final: Dict[URL, List[ASN]]
+    ) -> Tuple[List[Cluster], List[FaviconDecision], WebInferenceStats]:
+        """The §4.3.3 decision tree over one R&R grouping."""
+        scratch = WebInferenceResult()
+        clusters = self._favicon_stage(by_final, scratch, scratch.stats)
+        return clusters, scratch.decisions, scratch.stats
 
     # -- favicon decision tree (Fig. 6) -------------------------------------
 

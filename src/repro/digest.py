@@ -1,0 +1,59 @@
+"""Canonical JSON digests shared by datasets and the artifact store.
+
+The stage DAG content-addresses every artifact by a fingerprint over
+(config slice, dataset digests, upstream fingerprints).  For that to be
+stable across processes, every participant — dataset snapshots, config
+slices, stage payloads — must hash to the same bytes for the same
+logical content.  This module is the single canonicalisation point:
+dataclasses, sets, tuples and bytes are coerced to a deterministic JSON
+form, then hashed with SHA-256.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce *value* to a JSON-serialisable, deterministic form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (frozenset, set)):
+        return sorted(jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, bytes):
+        return "bytes:" + value.hex()
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical compact JSON encoding used for hashing and storage."""
+    return json.dumps(jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of *value*'s canonical JSON form."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def dataset_digest(obj: Any) -> str:
+    """Best-effort content digest of a dataset object.
+
+    Objects exposing ``content_digest()`` (WHOIS datasets, PeeringDB
+    snapshots, the simulated web) get a true content address; anything
+    else falls back to a per-object token, which keeps caching correct
+    (never a false hit) at the cost of cross-process reuse.
+    """
+    method = getattr(obj, "content_digest", None)
+    if callable(method):
+        return str(method())
+    return "volatile:%x" % id(obj)

@@ -8,7 +8,7 @@ across all ten experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from ..analysis import (
@@ -26,6 +26,7 @@ from ..analysis import (
 )
 from ..baselines import build_as2org_mapping, build_as2orgplus_mapping
 from ..config import BorgesConfig, UniverseConfig
+from ..core.artifacts import ArtifactStore
 from ..core.mapping import OrgMapping
 from ..core.pipeline import BorgesPipeline, BorgesResult
 from ..errors import ExperimentError
@@ -49,6 +50,10 @@ class ExperimentContext:
     result: BorgesResult
     as2org: OrgMapping
     as2orgplus: OrgMapping
+    #: Content-addressed stage cache shared by every pipeline this
+    #: context spawns (the Table-6 sweep reuses the primary run's scrape
+    #: and NER artifacts instead of recomputing them per combination).
+    artifact_store: ArtifactStore = field(default_factory=ArtifactStore)
 
     @property
     def borges(self) -> OrgMapping:
@@ -61,11 +66,13 @@ class ExperimentContext:
         borges_config: Optional[BorgesConfig] = None,
     ) -> "ExperimentContext":
         tracer = get_tracer()
+        store = ArtifactStore()
         with timed(_LOG, "experiment context build") as block:
             with tracer.span("context.universe"):
                 universe = generate_universe(universe_config)
             pipeline = BorgesPipeline(
-                universe.whois, universe.pdb, universe.web, config=borges_config
+                universe.whois, universe.pdb, universe.web,
+                config=borges_config, artifact_store=store,
             )
             result = pipeline.run()
             with tracer.span("context.baselines"):
@@ -82,6 +89,7 @@ class ExperimentContext:
             result=result,
             as2org=as2org,
             as2orgplus=as2orgplus,
+            artifact_store=store,
         )
 
 
@@ -155,6 +163,8 @@ def _table6(ctx: ExperimentContext) -> Report:
         ctx.universe.pdb,
         ctx.universe.web,
         config=ctx.pipeline.config,
+        client=ctx.pipeline.client,
+        artifact_store=ctx.artifact_store,
     )
     return Report(
         experiment_id="table6",

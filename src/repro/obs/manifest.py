@@ -112,6 +112,13 @@ def build_manifest(
         manifest["llm"] = _llm_section(client)
     if result is not None:
         manifest["features"] = _feature_section(result, tracer)
+        stage_records = getattr(result, "stage_records", None)
+        if stage_records:
+            # Per-stage execution accounting: status (ok/cached/failed/
+            # skipped), cache source, and artifact fingerprint — this is
+            # what makes a cached run distinguishable from a live one in
+            # ``borges telemetry``.
+            manifest["stages"] = _jsonable(stage_records)
         manifest["org_count"] = len(result.mapping)
         manifest["degraded"] = bool(getattr(result, "degraded", False))
         feature_errors = getattr(result, "feature_errors", None)

@@ -19,6 +19,7 @@ instrumentation (:func:`get_tracer`), and tests swap in a private one via
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -71,11 +72,44 @@ class Span:
 
 
 class Tracer:
-    """Builds span trees; one instance per process (or per test)."""
+    """Builds span trees; one instance per process (or per test).
+
+    The active-span stack is *per thread*: the stage executor finishes
+    independent stages on worker threads, and each thread nests its spans
+    under whatever parent it :meth:`attach`\\ ed, without racing the main
+    thread's stack.  The root list is shared and lock-protected.
+    """
 
     def __init__(self) -> None:
         self._roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def attach(self, parent: Optional[Span]) -> Iterator[None]:
+        """Make *parent* this thread's active span for the duration.
+
+        Used by the stage executor to parent worker-thread spans under
+        the span that was active when the work was scheduled.  A ``None``
+        parent is a no-op, so callers need not special-case untraced runs.
+        """
+        if parent is None:
+            yield
+            return
+        stack = self._stack
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            stack.pop()
 
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
@@ -88,7 +122,8 @@ class Tracer:
         if self._stack:
             self._stack[-1].children.append(node)
         else:
-            self._roots.append(node)
+            with self._lock:
+                self._roots.append(node)
         self._stack.append(node)
         start = time.perf_counter()
         try:
@@ -109,12 +144,13 @@ class Tracer:
 
     def spans(self) -> List[Span]:
         """Root spans recorded so far."""
-        return list(self._roots)
+        with self._lock:
+            return list(self._roots)
 
     def all_spans(self) -> List[Span]:
         """Every span, depth-first across all roots."""
         out: List[Span] = []
-        for root in self._roots:
+        for root in self.spans():
             out.extend(root.walk())
         return out
 
@@ -123,10 +159,11 @@ class Tracer:
         return [s for s in self.all_spans() if s.name == name]
 
     def to_dicts(self) -> List[Dict[str, object]]:
-        return [root.to_dict() for root in self._roots]
+        return [root.to_dict() for root in self.spans()]
 
     def reset(self) -> None:
-        self._roots.clear()
+        with self._lock:
+            self._roots.clear()
         self._stack.clear()
 
 

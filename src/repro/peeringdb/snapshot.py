@@ -117,6 +117,18 @@ class PDBSnapshot:
             ),
         }
 
+    def content_digest(self) -> str:
+        """Stable content hash; anchors stage-artifact fingerprints.
+
+        ``meta`` (generation timestamps, source labels) is excluded: two
+        snapshots with identical org/net data are the same input.
+        """
+        from ..digest import stable_digest
+
+        payload = self.to_json()
+        payload.pop("meta", None)
+        return stable_digest(payload)
+
     # -- serialization ----------------------------------------------------
 
     def to_json(self) -> Dict[str, Any]:

@@ -99,6 +99,7 @@ class SimulatedWeb:
     def __init__(self) -> None:
         self._sites: Dict[str, Site] = {}
         self.fetch_count = 0
+        self._content_digest: Optional[str] = None
 
     # -- registry ---------------------------------------------------------
 
@@ -108,6 +109,7 @@ class SimulatedWeb:
             raise ValueError(f"site already registered for host {host!r}")
         site.host = host
         self._sites[host] = site
+        self._content_digest = None
         return site
 
     def add_page(
@@ -185,6 +187,31 @@ class SimulatedWeb:
         if site is None or not site.alive or not site.favicon:
             return None
         return site.favicon
+
+    def content_digest(self) -> str:
+        """Stable content hash; anchors stage-artifact fingerprints.
+
+        Cached between calls (the registry is write-once in practice) and
+        invalidated whenever a site is added.  ``fetch_count`` is runtime
+        state, not content, so it does not participate.
+        """
+        if self._content_digest is None:
+            from ..digest import stable_digest
+
+            self._content_digest = stable_digest(
+                [
+                    {
+                        "host": site.host,
+                        "title": site.title,
+                        "redirect_kind": str(site.redirect_kind.value),
+                        "redirect_target": site.redirect_target,
+                        "favicon": site.favicon,
+                        "alive": site.alive,
+                    }
+                    for site in self.sites()
+                ]
+            )
+        return self._content_digest
 
     # -- diagnostics --------------------------------------------------------
 

@@ -89,6 +89,22 @@ class WhoisDataset:
             "max_asns_per_org": float(max(sizes)) if sizes else 0.0,
         }
 
+    def content_digest(self) -> str:
+        """Stable content hash; anchors stage-artifact fingerprints."""
+        from ..digest import stable_digest
+
+        return stable_digest(
+            {
+                "orgs": [
+                    self.orgs[org_id].to_json() for org_id in sorted(self.orgs)
+                ],
+                "delegations": [
+                    self.delegations[asn].to_json()
+                    for asn in sorted(self.delegations)
+                ],
+            }
+        )
+
     def restricted_to(self, asns: Iterable[ASN]) -> "WhoisDataset":
         """Return a sub-dataset containing only the given ASNs."""
         keep = set(asns)
