@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI smoke test for the serve subsystem.
+
+Boots the HTTP query server on an ephemeral port over a small universe,
+hits every endpoint (including the 400/404 contracts), performs a hot
+snapshot swap from a freshly-written release file while background
+readers are active, asserts zero failed requests, and shuts the server
+down cleanly.  Exits non-zero on the first violated expectation.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import UniverseConfig  # noqa: E402
+from repro.core import BorgesPipeline  # noqa: E402
+from repro.core.release import save_mapping_as2org  # noqa: E402
+from repro.serve import QueryServer, QueryService  # noqa: E402
+from repro.universe import generate_universe  # noqa: E402
+
+
+def fetch(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def expect(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        sys.exit(f"serve smoke failed: {label}")
+
+
+def main() -> int:
+    print("building universe + running pipeline...")
+    universe = generate_universe(
+        UniverseConfig(seed=5, n_organizations=300, total_users=20_000_000)
+    )
+    result = BorgesPipeline(
+        universe.whois, universe.pdb, universe.web
+    ).run()
+    mapping = result.mapping
+
+    service = QueryService()
+    service.store.load_from_mapping(
+        mapping, whois=universe.whois, pdb=universe.pdb
+    )
+    with QueryServer(service) as server:
+        base = server.url
+        print(f"server on {base}")
+        index = service.store.current().index
+        asn = index.asns()[0]
+        multi = next(o for o in (index.org_of(a) for a in index.asns())
+                     if o.size > 1)
+        a, b = multi.members[:2]
+
+        print("endpoint contracts:")
+        code, body = fetch(f"{base}/healthz")
+        expect(code == 200 and body["status"] == "ok", "healthz ok")
+        code, body = fetch(f"{base}/v1/asn/{asn}")
+        expect(code == 200 and body["asn"] == asn, "asn lookup")
+        expect(fetch(f"{base}/v1/asn/999999999")[0] == 404, "asn 404")
+        expect(fetch(f"{base}/v1/asn/banana")[0] == 400, "asn 400")
+        code, body = fetch(f"{base}/v1/org/{multi.org_id}")
+        expect(code == 200 and body["size"] == multi.size, "org lookup")
+        expect(fetch(f"{base}/v1/org/BORGES-NOPE")[0] == 404, "org 404")
+        code, body = fetch(f"{base}/v1/siblings?a={a}&b={b}")
+        expect(code == 200 and body["siblings"] is True, "siblings verdict")
+        expect(fetch(f"{base}/v1/siblings")[0] == 400, "siblings 400")
+        token = multi.name.split()[0].lower()
+        code, body = fetch(f"{base}/v1/search?q={token}")
+        expect(code == 200 and isinstance(body["results"], list), "search")
+        expect(fetch(f"{base}/v1/search")[0] == 400, "search 400")
+
+        print("hot swap under live readers:")
+        errors = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            i = 0
+            asns = index.asns()[:100]
+            while not stop.is_set():
+                code, _ = fetch(f"{base}/v1/asn/{asns[i % len(asns)]}")
+                if code != 200:
+                    errors.append(code)
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        with TemporaryDirectory() as tmp:
+            release_path = Path(tmp) / "release.jsonl"
+            save_mapping_as2org(mapping, universe.whois, release_path)
+            service.store.load_from_release_file(release_path)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        expect(errors == [], "zero failed requests across the swap")
+        code, body = fetch(f"{base}/healthz")
+        expect(body["generation"] == 2, "generation bumped to 2")
+        code, body = fetch(f"{base}/v1/siblings?a={a}&b={b}")
+        expect(
+            code == 200 and body["siblings"] is True and body["generation"] == 2,
+            "post-swap answers from the new generation",
+        )
+        drained = service.store.drain(timeout=5.0)
+        expect(drained >= 0, f"retired generations drained ({drained})")
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as r:
+            text = r.read().decode()
+        expect("serve_requests_total" in text, "metrics exposition")
+        expect("serve_snapshot_swaps_total 2" in text, "swap counter at 2")
+
+    print("graceful shutdown ok")
+    stats = service.stats()
+    print(f"request totals: {stats['requests']}")
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Subcommands:
 * ``experiment`` — regenerate a paper table/figure (``table3``..``fig9``
   or ``all``).
 * ``compare`` — θ for AS2Org, as2org+ and Borges side by side.
+* ``release`` — publish a run as a CAIDA-format as2org file.
+* ``serve`` — boot the HTTP query API over a mapping snapshot.
+* ``query`` — one-shot in-process lookups against a snapshot.
 """
 
 from __future__ import annotations
@@ -174,7 +177,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("asn_a", type=int)
     explain.add_argument("asn_b", type=int, nargs="?", default=None)
+
+    release = sub.add_parser(
+        "release",
+        help="run the pipeline and publish a CAIDA-format as2org file",
+    )
+    release.add_argument(
+        "--out",
+        type=Path,
+        default=Path("borges_as2org.jsonl"),
+        help="release file path (.gz for gzip; default borges_as2org.jsonl)",
+    )
+    release.add_argument(
+        "--features",
+        nargs="*",
+        choices=sorted(ALL_FEATURES),
+        default=None,
+        help="feature subset (default: all four)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve ASN->org queries over HTTP (the read path)"
+    )
+    _add_snapshot_option(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+
+    query = sub.add_parser(
+        "query", help="one-shot lookups against a snapshot (no server)"
+    )
+    _add_snapshot_option(query)
+    query.add_argument(
+        "asns", type=int, nargs="*", help="ASNs to look up"
+    )
+    query.add_argument(
+        "--org", default=None, metavar="ORG_ID", help="look up one organization"
+    )
+    query.add_argument(
+        "--search", default=None, metavar="QUERY", help="search org names"
+    )
+    query.add_argument(
+        "--siblings",
+        type=int,
+        nargs=2,
+        default=None,
+        metavar=("A", "B"),
+        help="are these two ASNs mapped to the same organization?",
+    )
     return parser
+
+
+def _add_snapshot_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "mapping snapshot to serve: a CAIDA-format as2org file (as "
+            "written by `borges release`) or an OrgMapping JSON (as "
+            "written by `borges run --save-mapping`); default: run the "
+            "pipeline on a fresh synthetic universe"
+        ),
+    )
 
 
 def _fault_profile_names() -> Sequence[str]:
@@ -461,6 +528,125 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_release(args: argparse.Namespace) -> int:
+    from .core.release import save_mapping_as2org
+
+    config = _borges_config(args)
+    if args.features is not None:
+        config = config.with_features(*args.features)
+    universe = generate_universe(_universe_config(args))
+    pipeline = BorgesPipeline(universe.whois, universe.pdb, universe.web, config)
+    result = pipeline.run()
+    _RUN_ARTIFACTS.update(
+        config=pipeline.config, result=result, client=pipeline.client
+    )
+    save_mapping_as2org(result.mapping, universe.whois, args.out)
+    print(
+        f"released {len(result.mapping):,} organizations "
+        f"({result.mapping.universe_size:,} ASNs) to {args.out}"
+    )
+    print(f"serve it with: borges serve --snapshot {args.out}")
+    return 0
+
+
+def _sniff_snapshot_kind(path: Path) -> str:
+    """``release`` (as2org JSON-lines) or ``mapping`` (OrgMapping JSON)."""
+    if path.suffix == ".gz" or path.suffix == ".jsonl":
+        return "release"
+    import json as _json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline().strip()
+    try:
+        record = _json.loads(first)
+    except ValueError:
+        return "mapping"
+    if isinstance(record, dict) and record.get("type") in ("Organization", "ASN"):
+        return "release"
+    return "mapping"
+
+
+def _build_service(args: argparse.Namespace):
+    """A QueryService with one generation loaded per the CLI options."""
+    from .serve import QueryService
+
+    service = QueryService()
+    if args.snapshot is not None:
+        path: Path = args.snapshot
+        if _sniff_snapshot_kind(path) == "release":
+            snapshot = service.store.load_from_release_file(path)
+        else:
+            snapshot = service.store.load_from_mapping_file(path)
+    else:
+        universe = generate_universe(_universe_config(args))
+        pipeline = BorgesPipeline(
+            universe.whois, universe.pdb, universe.web, _borges_config(args)
+        )
+        result = pipeline.run()
+        _RUN_ARTIFACTS.update(
+            config=pipeline.config, result=result, client=pipeline.client
+        )
+        snapshot = service.store.load_from_mapping(
+            result.mapping,
+            whois=universe.whois,
+            pdb=universe.pdb,
+            label=f"pipeline seed={args.seed}",
+        )
+    described = snapshot.describe()
+    print(
+        f"snapshot generation {described['generation']}: "
+        f"{described['orgs']:,} orgs / {described['asns']:,} ASNs "
+        f"from {described['source']} ({described['label']})"
+    )
+    _RUN_ARTIFACTS["service"] = service
+    return service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import QueryServer
+
+    service = _build_service(args)
+    server = QueryServer(service, host=args.host, port=args.port)
+    print(f"serving on {server.url}  (Ctrl-C to stop)")
+    print(f"  try: curl {server.url}/v1/asn/{next(iter(service.store.current().index.asns()))}")
+    server.serve_until_interrupt()
+    stats = service.stats()
+    print("server stopped; request totals:")
+    for key, value in sorted(dict(stats["requests"]).items()):
+        print(f"  {key}: {value:,.0f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .errors import DataError
+
+    if not (args.asns or args.org or args.search or args.siblings):
+        print("error: nothing to query (pass ASNs, --org, --search or --siblings)")
+        return 2
+    service = _build_service(args)
+    status = 0
+    responses = []
+    try:
+        if args.asns:
+            responses.extend(service.batch_lookup(args.asns))
+        if args.org:
+            responses.append(service.lookup_org(args.org))
+        if args.search:
+            responses.append(service.search(args.search))
+        if args.siblings:
+            responses.append(service.siblings(*args.siblings))
+    except DataError as exc:
+        print(f"error: {exc}")
+        return 1
+    for response in responses:
+        if "error" in response:
+            status = 1
+        print(_json.dumps(response, indent=2, sort_keys=True))
+    return status
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "run": _cmd_run,
@@ -469,6 +655,9 @@ _COMMANDS = {
     "evolution": _cmd_evolution,
     "explain": _cmd_explain,
     "telemetry": _cmd_telemetry,
+    "release": _cmd_release,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 
@@ -482,6 +671,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             config=_RUN_ARTIFACTS.get("config"),
             result=_RUN_ARTIFACTS.get("result"),
             client=_RUN_ARTIFACTS.get("client"),
+            service=_RUN_ARTIFACTS.get("service"),
         )
         try:
             path = write_manifest(args.telemetry_out, manifest)

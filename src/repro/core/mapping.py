@@ -60,6 +60,11 @@ class OrgMapping:
                 self._by_asn[asn] = index
         #: Optional display names per ASN (the WHOIS/PDB org names).
         self._org_names = dict(org_names or {})
+        # Lazily-built per-cluster caches.  The mapping is immutable after
+        # construction, so each is computed at most once; read paths that
+        # hammer these (the serve index, metrics) become O(1) per call.
+        self._display_names: Optional[List[str]] = None
+        self._sizes: Optional[List[int]] = None
 
     # -- basic queries -----------------------------------------------------
 
@@ -103,16 +108,28 @@ class OrgMapping:
 
     def sizes(self) -> List[int]:
         """Cluster sizes, descending — the θ input."""
-        return [len(c) for c in self._clusters]
+        if self._sizes is None:
+            self._sizes = [len(c) for c in self._clusters]
+        return list(self._sizes)
+
+    def _display_name_of(self, index: int) -> str:
+        """Display name for cluster *index*, built once per cluster."""
+        if self._display_names is None:
+            names: List[str] = []
+            for cluster in self._clusters:
+                chosen = ""
+                for member in sorted(cluster):
+                    name = self._org_names.get(member)
+                    if name:
+                        chosen = name
+                        break
+                names.append(chosen or f"AS{min(cluster)}")
+            self._display_names = names
+        return self._display_names[index]
 
     def org_name_of(self, asn: ASN) -> str:
         """Display name: the recorded name of any cluster member."""
-        cluster = self.cluster_of(asn)
-        for member in sorted(cluster):
-            name = self._org_names.get(member)
-            if name:
-                return name
-        return f"AS{min(cluster)}"
+        return self._display_name_of(self.org_index_of(asn))
 
     def stats(self) -> Dict[str, float]:
         sizes = self.sizes()

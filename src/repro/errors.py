@@ -44,6 +44,25 @@ class UnknownASNError(DataError):
         self.asn = asn
 
 
+class UnknownOrgError(DataError):
+    """An organization id was referenced that no snapshot knows about."""
+
+    def __init__(self, org_id: str) -> None:
+        super().__init__(f"unknown organization: {org_id}")
+        self.org_id = org_id
+
+
+class ServeError(ReproError):
+    """Base class for query-service (read-path) failures."""
+
+
+class NoSnapshotError(ServeError):
+    """The query service has no mapping snapshot loaded yet."""
+
+    def __init__(self) -> None:
+        super().__init__("no mapping snapshot loaded")
+
+
 class LLMError(ReproError):
     """Base class for LLM client/back-end failures."""
 

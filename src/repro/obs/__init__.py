@@ -25,6 +25,7 @@ from .prometheus import render_prometheus
 from .registry import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_LOOKUP_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -44,6 +45,7 @@ __all__ = [
     "render_prometheus",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_LOOKUP_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

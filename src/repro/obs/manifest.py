@@ -88,6 +88,7 @@ def build_manifest(
     config: Optional[object] = None,
     result=None,
     client=None,
+    service=None,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     extra: Optional[Dict[str, object]] = None,
@@ -110,6 +111,12 @@ def build_manifest(
         }
     if client is not None:
         manifest["llm"] = _llm_section(client)
+    if service is not None:
+        # Read-path accounting: when a QueryService ran in-process (the
+        # serve/query subcommands, the smoke job), its request counters,
+        # cache stats and snapshot generation ride in the same manifest
+        # as the write-path stages.
+        manifest["serve"] = _jsonable(service.stats())
     if result is not None:
         manifest["features"] = _feature_section(result, tracer)
         stage_records = getattr(result, "stage_records", None)

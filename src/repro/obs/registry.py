@@ -23,8 +23,19 @@ from ..errors import ConfigError
 LabelItems = Tuple[Tuple[str, str], ...]
 
 #: Default latency buckets (seconds), Prometheus-style upper bounds.
+#: The sub-millisecond bounds exist for in-memory read paths (the serve
+#: index answers in single-digit microseconds); the pipeline-scale spans
+#: land in the tail buckets as before.
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: Lookup-scale buckets for the query service: O(1) dict hits sit around
+#: 1–50 µs, so the default latency buckets would collapse every request
+#: into their first bound and hide regressions an order of magnitude big.
+DEFAULT_LOOKUP_BUCKETS: Tuple[float, ...] = (
+    0.000001, 0.000005, 0.00001, 0.000025, 0.00005, 0.0001,
+    0.00025, 0.0005, 0.001, 0.005, 0.025, 0.1,
 )
 
 #: Default small-integer buckets (redirect hops, retries, group sizes).

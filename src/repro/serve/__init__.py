@@ -1,0 +1,43 @@
+"""Serve: the read-path subsystem over completed AS-to-Org mappings.
+
+The write side of the repo (pipeline → :class:`~repro.core.OrgMapping` →
+release file) *produces* mappings; this package *answers queries* against
+them, the way downstream tools consume CAIDA's AS2Org:
+
+* :mod:`repro.serve.index` — :class:`MappingIndex`: immutable O(1)
+  ASN→org / org→members lookups plus tokenized org-name search;
+* :mod:`repro.serve.store` — :class:`SnapshotStore`: loads generations
+  (pipeline results, mapping JSON, CAIDA-format release files, merge
+  artifacts) and hot-swaps them atomically, draining retired readers;
+* :mod:`repro.serve.service` — :class:`QueryService`: batched lookups,
+  an LRU response cache, and per-endpoint sub-millisecond latency
+  histograms in the shared metrics registry;
+* :mod:`repro.serve.httpd` — :class:`QueryServer`: a stdlib threading
+  HTTP JSON API (``/v1/asn``, ``/v1/org``, ``/v1/siblings``,
+  ``/v1/search``, ``/healthz``, ``/metrics``);
+* :mod:`repro.serve.loadgen` — seeded Zipfian traffic for benchmarks.
+
+``borges serve`` and ``borges query`` are the CLI entry points.
+"""
+
+from .index import AsnRecord, MappingIndex, OrgRecord, org_handle, tokenize
+from .loadgen import LoadGenerator, LoadReport, ZipfianSampler
+from .service import ENDPOINTS, QueryService
+from .store import Snapshot, SnapshotStore
+from .httpd import QueryServer
+
+__all__ = [
+    "AsnRecord",
+    "MappingIndex",
+    "OrgRecord",
+    "org_handle",
+    "tokenize",
+    "LoadGenerator",
+    "LoadReport",
+    "ZipfianSampler",
+    "ENDPOINTS",
+    "QueryService",
+    "Snapshot",
+    "SnapshotStore",
+    "QueryServer",
+]

@@ -1,0 +1,262 @@
+"""Stdlib HTTP front-end for the query service.
+
+A :class:`ThreadingHTTPServer` exposing the read API as JSON:
+
+====================  =====================================================
+``GET /v1/asn/{asn}``        one ASN's organization (404 unknown ASN)
+``GET /v1/org/{id}``         one organization's members (404 unknown id)
+``GET /v1/siblings``         ``?a=&b=`` verdict, or ``?asn=`` sibling list
+``GET /v1/search``           ``?q=&limit=`` org-name search
+``POST /v1/batch``           ``{"asns": [...]}`` batched lookup
+``GET /healthz``             200 ok/degraded, 503 before the first snapshot
+``GET /metrics``             Prometheus text exposition
+====================  =====================================================
+
+Binding ``port=0`` picks an ephemeral port (the bound port is exposed as
+``server.port``), which is how the tests and the CI smoke job run many
+servers without colliding.  ``stop()`` is a graceful shutdown: the accept
+loop exits, in-flight handlers finish, the socket closes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import NoSnapshotError, UnknownASNError, UnknownOrgError
+from ..logutil import get_logger
+from ..obs import render_prometheus
+from .service import QueryService
+
+_LOG = get_logger("serve.httpd")
+
+
+def _make_handler(service: QueryService):
+    registry = service.registry
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "borges-serve"
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, format: str, *args: object) -> None:
+            _LOG.debug("%s %s", self.address_string(), format % args)
+
+        def _send_json(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            registry.counter(
+                "serve_http_requests_total",
+                "HTTP requests by status code",
+                code=code,
+            ).inc()
+
+        def _send_error(self, code: int, message: str) -> None:
+            self._send_json(code, {"error": message})
+
+        def _query(self) -> Tuple[str, dict]:
+            parsed = urlparse(self.path)
+            return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
+
+        def _int_param(self, params: dict, name: str) -> Optional[int]:
+            values = params.get(name)
+            if not values:
+                return None
+            return int(values[0])
+
+        # -- routes ----------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            path, params = self._query()
+            try:
+                if path.startswith("/v1/asn/"):
+                    self._handle_asn(path[len("/v1/asn/"):])
+                elif path.startswith("/v1/org/"):
+                    self._handle_org(path[len("/v1/org/"):])
+                elif path == "/v1/siblings":
+                    self._handle_siblings(params)
+                elif path == "/v1/search":
+                    self._handle_search(params)
+                elif path == "/healthz":
+                    self._handle_health()
+                elif path == "/metrics":
+                    self._handle_metrics()
+                else:
+                    self._send_error(404, f"no route {path}")
+            except NoSnapshotError:
+                self._send_error(503, "no mapping snapshot loaded")
+            except Exception as exc:  # noqa: BLE001 — a handler crash
+                # must answer the client, not silently drop the socket.
+                _LOG.exception("handler error on %s", self.path)
+                self._send_error(500, f"internal error: {exc}")
+
+        def do_POST(self) -> None:  # noqa: N802
+            path, _ = self._query()
+            if path != "/v1/batch":
+                self._send_error(404, f"no route {path}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                document = json.loads(self.rfile.read(length) or b"{}")
+                asns = document.get("asns")
+                if not isinstance(asns, list):
+                    self._send_error(400, "body must be {'asns': [...]}")
+                    return
+                results = service.batch_lookup(int(a) for a in asns)
+                self._send_json(200, {"results": results})
+            except NoSnapshotError:
+                self._send_error(503, "no mapping snapshot loaded")
+            except (ValueError, TypeError) as exc:
+                self._send_error(400, f"bad batch request: {exc}")
+
+        # -- endpoint bodies -------------------------------------------
+
+        def _handle_asn(self, raw: str) -> None:
+            try:
+                asn = int(raw)
+            except ValueError:
+                self._send_error(400, f"not an ASN: {raw!r}")
+                return
+            try:
+                self._send_json(200, service.lookup_asn(asn))
+            except UnknownASNError:
+                self._send_error(404, f"unknown ASN {asn}")
+
+        def _handle_org(self, org_id: str) -> None:
+            if not org_id:
+                self._send_error(400, "missing organization id")
+                return
+            try:
+                self._send_json(200, service.lookup_org(org_id))
+            except UnknownOrgError:
+                self._send_error(404, f"unknown organization {org_id!r}")
+
+        def _handle_siblings(self, params: dict) -> None:
+            try:
+                a = self._int_param(params, "a")
+                b = self._int_param(params, "b")
+                asn = self._int_param(params, "asn")
+            except ValueError as exc:
+                self._send_error(400, f"bad ASN parameter: {exc}")
+                return
+            try:
+                if asn is not None:
+                    self._send_json(200, service.siblings(asn))
+                elif a is not None and b is not None:
+                    self._send_json(200, service.siblings(a, b))
+                else:
+                    self._send_error(400, "need ?a=&b= or ?asn=")
+            except UnknownASNError as exc:
+                self._send_error(404, str(exc))
+
+        def _handle_search(self, params: dict) -> None:
+            query = (params.get("q") or [""])[0]
+            if not query.strip():
+                self._send_error(400, "missing ?q=")
+                return
+            try:
+                limit = self._int_param(params, "limit") or 10
+            except ValueError:
+                self._send_error(400, "bad ?limit=")
+                return
+            self._send_json(200, service.search(query, limit=limit))
+
+        def _handle_health(self) -> None:
+            ready, body = service.health()
+            self._send_json(200 if ready else 503, body)
+
+        def _handle_metrics(self) -> None:
+            body = render_prometheus(registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler
+
+
+class QueryServer:
+    """Lifecycle wrapper: bind, serve in a daemon thread, stop cleanly."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(service)
+        )
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "QueryServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="borges-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("query server listening on %s", self.url)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, join the accept loop."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def serve_until_interrupt(self) -> None:
+        """Foreground mode for the CLI: Ctrl-C or SIGTERM stops the server.
+
+        Handlers are installed explicitly so a daemonized ``borges serve``
+        (where SIGINT may start out ignored) still shuts down on
+        ``kill``; previous handlers are restored on exit.
+        """
+        import signal
+
+        def _interrupt(signum: int, frame: object) -> None:
+            raise KeyboardInterrupt
+
+        previous = {
+            sig: signal.signal(sig, _interrupt)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            self._httpd.server_close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

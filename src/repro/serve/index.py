@@ -1,0 +1,242 @@
+"""The immutable read-side index compiled from an :class:`OrgMapping`.
+
+A :class:`MappingIndex` is the serve-layer counterpart of the write-side
+pipeline output: every cluster becomes one :class:`OrgRecord` with a
+stable ``BORGES-{lowest ASN}`` handle (the same handle scheme
+:mod:`repro.core.release` publishes), every ASN resolves to its record in
+O(1), and a tokenized inverted index over organization names answers
+free-text search.  Indexes are immutable once built — the
+:class:`~repro.serve.store.SnapshotStore` swaps whole generations rather
+than mutating one in place, which is what lets readers run lock-free.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..digest import stable_digest
+from ..errors import UnknownASNError, UnknownOrgError
+from ..types import ASN
+from ..core.mapping import OrgMapping
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Tokens too common to discriminate between organizations; keeping them
+#: out of the inverted index keeps search postings short.
+_STOPWORDS = frozenset(
+    {"inc", "llc", "ltd", "corp", "co", "sa", "ag", "gmbh", "the", "of"}
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens of *text* (stopwords dropped)."""
+    return [
+        token
+        for token in _TOKEN_RE.findall(text.lower())
+        if token not in _STOPWORDS
+    ]
+
+
+def org_handle(cluster_min_asn: int) -> str:
+    """The stable release handle of a cluster (see core/release.py)."""
+    return f"BORGES-{cluster_min_asn}"
+
+
+@dataclass(frozen=True)
+class OrgRecord:
+    """One organization as the read path serves it."""
+
+    org_id: str
+    name: str
+    country: str
+    members: Tuple[ASN, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "org_id": self.org_id,
+            "name": self.name,
+            "country": self.country,
+            "size": self.size,
+            "members": list(self.members),
+        }
+
+
+@dataclass(frozen=True)
+class AsnRecord:
+    """Per-ASN detail: registry name/website plus the owning org."""
+
+    asn: ASN
+    name: str
+    website: str
+    org: OrgRecord
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "asn": self.asn,
+            "name": self.name,
+            "website": self.website,
+            "org": self.org.to_json(),
+        }
+
+
+@dataclass(frozen=True)
+class MappingIndex:
+    """O(1) ASN→org / org→members lookups plus org-name search.
+
+    Build with :meth:`build`; the constructor fields are the compiled
+    read-only structures.
+    """
+
+    method: str
+    digest: str
+    _asns: Dict[ASN, AsnRecord] = field(repr=False)
+    _orgs: Dict[str, OrgRecord] = field(repr=False)
+    _postings: Dict[str, Tuple[str, ...]] = field(repr=False)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        mapping: OrgMapping,
+        whois=None,
+        pdb=None,
+    ) -> "MappingIndex":
+        """Compile *mapping* (plus optional WHOIS/PeeringDB metadata).
+
+        *whois* (a :class:`~repro.whois.WhoisDataset`) supplies per-ASN
+        registry names and org countries; *pdb* (a
+        :class:`~repro.peeringdb.PDBSnapshot`) supplies operator
+        websites.  Both are optional so a bare mapping JSON is servable.
+        """
+        orgs: Dict[str, OrgRecord] = {}
+        asns: Dict[ASN, AsnRecord] = {}
+        postings: Dict[str, List[str]] = {}
+        for cluster in mapping.clusters():
+            members = tuple(sorted(cluster))
+            representative = members[0]
+            handle = org_handle(representative)
+            country = ""
+            if whois is not None and representative in whois:
+                country = whois.org_of(representative).country
+            record = OrgRecord(
+                org_id=handle,
+                name=mapping.org_name_of(representative),
+                country=country,
+                members=members,
+            )
+            orgs[handle] = record
+            for token in set(tokenize(record.name)):
+                postings.setdefault(token, []).append(handle)
+            for asn in members:
+                name = ""
+                website = ""
+                if whois is not None and asn in whois:
+                    name = whois.delegations[asn].name
+                if pdb is not None and asn in pdb:
+                    net = pdb.nets[asn]
+                    website = net.website
+                    name = name or net.name
+                asns[asn] = AsnRecord(
+                    asn=asn, name=name, website=website, org=record
+                )
+        digest = stable_digest(
+            {
+                "method": mapping.method,
+                "clusters": [list(o.members) for o in orgs.values()],
+            }
+        )
+        return cls(
+            method=mapping.method,
+            digest=digest,
+            _asns=asns,
+            _orgs=orgs,
+            _postings={
+                token: tuple(sorted(handles))
+                for token, handles in postings.items()
+            },
+        )
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._orgs)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._asns
+
+    @property
+    def asn_count(self) -> int:
+        return len(self._asns)
+
+    def asns(self) -> List[ASN]:
+        return sorted(self._asns)
+
+    def lookup_asn(self, asn: ASN) -> AsnRecord:
+        try:
+            return self._asns[asn]
+        except KeyError:
+            raise UnknownASNError(asn) from None
+
+    def org(self, org_id: str) -> OrgRecord:
+        try:
+            return self._orgs[org_id]
+        except KeyError:
+            raise UnknownOrgError(org_id) from None
+
+    def org_of(self, asn: ASN) -> OrgRecord:
+        return self.lookup_asn(asn).org
+
+    def are_siblings(self, a: ASN, b: ASN) -> bool:
+        left = self._asns.get(a)
+        right = self._asns.get(b)
+        return left is not None and right is not None and left.org is right.org
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> List[OrgRecord]:
+        """Organizations whose name matches *query* tokens, best first.
+
+        Ranking: number of matched query tokens (an org matching every
+        token outranks partial matches), then member count, then handle.
+        The final query token also matches as a prefix, so incremental
+        queries ("teli", "telia") behave like an autocomplete box.
+        """
+        tokens = tokenize(query)
+        if not tokens or limit <= 0:
+            return []
+        scores: Dict[str, int] = {}
+        for position, token in enumerate(tokens):
+            matched = set(self._postings.get(token, ()))
+            if position == len(tokens) - 1 and len(token) >= 2:
+                for candidate, handles in self._postings.items():
+                    if candidate.startswith(token):
+                        matched.update(handles)
+            for handle in matched:
+                scores[handle] = scores.get(handle, 0) + 1
+        ranked = sorted(
+            scores.items(),
+            key=lambda item: (
+                -item[1],
+                -self._orgs[item[0]].size,
+                item[0],
+            ),
+        )
+        return [self._orgs[handle] for handle, _ in ranked[:limit]]
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "digest": self.digest,
+            "orgs": len(self._orgs),
+            "asns": len(self._asns),
+            "search_tokens": len(self._postings),
+        }

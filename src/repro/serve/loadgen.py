@@ -1,0 +1,136 @@
+"""Seeded Zipfian load generation for the query service.
+
+Real AS-lookup traffic is heavily skewed — a handful of hypergiant and
+tier-1 ASNs absorb most queries — so the generator draws ASNs from a
+Zipf(s) distribution over a shuffled rank order.  Everything is seeded:
+the same ``(seed, universe)`` pair replays the identical request stream,
+which is what lets the throughput benchmark compare runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from ..errors import ConfigError, UnknownASNError
+from ..types import ASN
+from .service import QueryService
+
+
+class ZipfianSampler:
+    """Draw items with Zipf(s) rank frequencies via inverse-CDF lookup."""
+
+    def __init__(
+        self, items: Sequence[ASN], s: float = 1.1, seed: int = 42
+    ) -> None:
+        if not items:
+            raise ConfigError("cannot sample from an empty item set")
+        if s <= 0:
+            raise ConfigError(f"zipf exponent must be positive: {s}")
+        self._rng = random.Random(seed)
+        # Shuffle so "rank 1" is not simply the lowest ASN — which ASNs
+        # are hot is itself part of the seeded scenario.
+        self._items: List[ASN] = list(items)
+        self._rng.shuffle(self._items)
+        cdf: List[float] = []
+        total = 0.0
+        for rank in range(1, len(self._items) + 1):
+            total += 1.0 / (rank ** s)
+            cdf.append(total)
+        self._cdf = [value / total for value in cdf]
+
+    def sample(self) -> ASN:
+        u = self._rng.random()
+        return self._items[bisect.bisect_left(self._cdf, u)]
+
+    def stream(self, n: int) -> Iterator[ASN]:
+        for _ in range(n):
+            yield self.sample()
+
+
+@dataclass
+class LoadReport:
+    """What one load run did and how fast the service answered."""
+
+    requests: int
+    ok: int
+    not_found: int
+    elapsed_seconds: float
+    mix: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "not_found": self.not_found,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "qps": round(self.qps, 1),
+            "mix": dict(self.mix),
+        }
+
+
+class LoadGenerator:
+    """Drive a :class:`QueryService` with a seeded Zipfian request mix."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        asns: Sequence[ASN],
+        seed: int = 42,
+        zipf_s: float = 1.1,
+    ) -> None:
+        self.service = service
+        self.sampler = ZipfianSampler(asns, s=zipf_s, seed=seed)
+        self._rng = random.Random(seed ^ 0x5F5E100)
+
+    def run(
+        self,
+        requests: int,
+        sibling_fraction: float = 0.0,
+        unknown_fraction: float = 0.0,
+    ) -> LoadReport:
+        """Issue *requests* lookups; fractions divert some to other ops.
+
+        ``sibling_fraction`` of requests become pairwise sibling checks;
+        ``unknown_fraction`` query an ASN outside the universe (the 404
+        path), exercising the service's miss accounting.
+        """
+        ok = 0
+        not_found = 0
+        mix = {"asn": 0, "siblings": 0, "unknown": 0}
+        service = self.service
+        sample = self.sampler.sample
+        draw = self._rng.random
+        started = time.perf_counter()
+        for _ in range(requests):
+            r = draw()
+            if r < unknown_fraction:
+                mix["unknown"] += 1
+                try:
+                    service.lookup_asn(-1)
+                    ok += 1
+                except UnknownASNError:
+                    not_found += 1
+            elif r < unknown_fraction + sibling_fraction:
+                mix["siblings"] += 1
+                service.siblings(sample(), sample())
+                ok += 1
+            else:
+                mix["asn"] += 1
+                service.lookup_asn(sample())
+                ok += 1
+        elapsed = time.perf_counter() - started
+        return LoadReport(
+            requests=requests,
+            ok=ok,
+            not_found=not_found,
+            elapsed_seconds=elapsed,
+            mix=mix,
+        )

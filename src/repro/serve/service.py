@@ -1,0 +1,277 @@
+"""The query service: cached, metered lookups over the active snapshot.
+
+:class:`QueryService` is the in-process read API the HTTP layer, the CLI
+(``borges query``) and the load generator all share.  Per-endpoint
+latency histograms use lookup-scale (sub-millisecond) buckets; metric
+children are resolved once at construction so the per-request cost is a
+dict hit, not a registry lock.  Responses are cached in a small LRU keyed
+by ``(generation, endpoint, args)`` — a hot-swap changes the generation
+and thereby invalidates the whole cache without any explicit flush.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import NoSnapshotError, UnknownASNError, UnknownOrgError
+from ..obs import DEFAULT_LOOKUP_BUCKETS, get_registry
+from ..types import ASN
+from .store import SnapshotStore
+
+#: The endpoints the service meters; the HTTP layer maps routes onto them.
+ENDPOINTS = ("asn", "org", "siblings", "search", "batch")
+
+
+class _ResponseLRU:
+    """Bounded (generation, endpoint, args) → response-dict cache."""
+
+    __slots__ = ("_entries", "_max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int) -> None:
+        self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._max_entries = max(1, max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: dict) -> None:
+        self._entries[key] = value
+        if len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class QueryService:
+    """Answer ASN/org/sibling/search queries against a snapshot store."""
+
+    def __init__(
+        self,
+        store: Optional[SnapshotStore] = None,
+        registry=None,
+        cache_size: int = 8192,
+    ) -> None:
+        self.registry = registry or get_registry()
+        self.store = store or SnapshotStore(registry=self.registry)
+        self._cache = _ResponseLRU(cache_size)
+        # Pre-resolved metric children: one registry round-trip at init
+        # instead of one (lock + label sort) per request.
+        self._latency = {
+            endpoint: self.registry.histogram(
+                "serve_request_seconds",
+                "Query service latency per endpoint",
+                buckets=DEFAULT_LOOKUP_BUCKETS,
+                endpoint=endpoint,
+            )
+            for endpoint in ENDPOINTS
+        }
+        self._requests = {
+            (endpoint, status): self.registry.counter(
+                "serve_requests_total",
+                "Query service requests by endpoint and status",
+                endpoint=endpoint,
+                status=status,
+            )
+            for endpoint in ENDPOINTS
+            for status in ("ok", "not_found", "unavailable")
+        }
+        self._cache_hits = self.registry.counter(
+            "serve_cache_hits_total", "Response cache hits"
+        )
+        self._batch_sizes = self.registry.histogram(
+            "serve_batch_size",
+            "ASNs per batch lookup",
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 100.0, 1000.0),
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _finish(self, endpoint: str, status: str, started: float) -> None:
+        self._latency[endpoint].observe(time.perf_counter() - started)
+        self._requests[(endpoint, status)].inc()
+
+    def _annotate(self, response: dict, generation: int) -> dict:
+        response["generation"] = generation
+        if self.store.stale:
+            response["stale"] = True
+        return response
+
+    # -- endpoints ---------------------------------------------------------
+
+    def lookup_asn(self, asn: ASN) -> dict:
+        """Resolve one ASN to its organization (the hot path)."""
+        started = time.perf_counter()
+        try:
+            snapshot = self.store.current()
+            key = (snapshot.generation, "asn", asn)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                self._finish("asn", "ok", started)
+                return cached
+            try:
+                record = snapshot.index.lookup_asn(asn)
+            except UnknownASNError:
+                self._finish("asn", "not_found", started)
+                raise
+            response = self._annotate(record.to_json(), snapshot.generation)
+            self._cache.put(key, response)
+            self._finish("asn", "ok", started)
+            return response
+        except NoSnapshotError:
+            self._finish("asn", "unavailable", started)
+            raise
+
+    def batch_lookup(self, asns: Iterable[ASN]) -> List[dict]:
+        """Resolve many ASNs against one pinned generation.
+
+        Unknown ASNs yield ``{"asn": n, "error": "unknown_asn"}`` entries
+        instead of failing the whole batch.
+        """
+        started = time.perf_counter()
+        try:
+            with self.store.acquire() as snapshot:
+                out: List[dict] = []
+                for asn in asns:
+                    key = (snapshot.generation, "asn", asn)
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._cache_hits.inc()
+                        out.append(cached)
+                        continue
+                    try:
+                        record = snapshot.index.lookup_asn(asn)
+                    except UnknownASNError:
+                        out.append({"asn": asn, "error": "unknown_asn"})
+                        continue
+                    response = self._annotate(
+                        record.to_json(), snapshot.generation
+                    )
+                    self._cache.put(key, response)
+                    out.append(response)
+        except NoSnapshotError:
+            self._finish("batch", "unavailable", started)
+            raise
+        self._batch_sizes.observe(float(len(out)))
+        self._finish("batch", "ok", started)
+        return out
+
+    def lookup_org(self, org_id: str) -> dict:
+        started = time.perf_counter()
+        try:
+            snapshot = self.store.current()
+            key = (snapshot.generation, "org", org_id)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                self._finish("org", "ok", started)
+                return cached
+            try:
+                record = snapshot.index.org(org_id)
+            except UnknownOrgError:
+                self._finish("org", "not_found", started)
+                raise
+            response = self._annotate(record.to_json(), snapshot.generation)
+            self._cache.put(key, response)
+            self._finish("org", "ok", started)
+            return response
+        except NoSnapshotError:
+            self._finish("org", "unavailable", started)
+            raise
+
+    def siblings(self, a: ASN, b: Optional[ASN] = None) -> dict:
+        """With *b*: are the two ASNs siblings?  Without: list *a*'s org."""
+        started = time.perf_counter()
+        try:
+            snapshot = self.store.current()
+            index = snapshot.index
+            if b is None:
+                try:
+                    record = index.lookup_asn(a)
+                except UnknownASNError:
+                    self._finish("siblings", "not_found", started)
+                    raise
+                response = self._annotate(
+                    {
+                        "asn": a,
+                        "org_id": record.org.org_id,
+                        "siblings": [m for m in record.org.members if m != a],
+                    },
+                    snapshot.generation,
+                )
+            else:
+                response = self._annotate(
+                    {"a": a, "b": b, "siblings": index.are_siblings(a, b)},
+                    snapshot.generation,
+                )
+            self._finish("siblings", "ok", started)
+            return response
+        except NoSnapshotError:
+            self._finish("siblings", "unavailable", started)
+            raise
+
+    def search(self, query: str, limit: int = 10) -> dict:
+        started = time.perf_counter()
+        try:
+            snapshot = self.store.current()
+            key = (snapshot.generation, "search", query, limit)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                self._finish("search", "ok", started)
+                return cached
+            records = snapshot.index.search(query, limit=limit)
+            response = self._annotate(
+                {
+                    "query": query,
+                    "results": [r.to_json() for r in records],
+                },
+                snapshot.generation,
+            )
+            self._cache.put(key, response)
+            self._finish("search", "ok", started)
+            return response
+        except NoSnapshotError:
+            self._finish("search", "unavailable", started)
+            raise
+
+    # -- health / accounting ----------------------------------------------
+
+    def health(self) -> Tuple[bool, dict]:
+        """(ready, body) for ``/healthz``: 503 until a snapshot loads."""
+        snapshot = self.store.current_or_none()
+        if snapshot is None:
+            return False, {"status": "unavailable"}
+        status = "degraded" if self.store.stale else "ok"
+        return True, {
+            "status": status,
+            "generation": snapshot.generation,
+            "orgs": len(snapshot.index),
+            "asns": snapshot.index.asn_count,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        totals: Dict[str, float] = {}
+        for (endpoint, status), counter in self._requests.items():
+            if counter.value:
+                totals[f"{endpoint}.{status}"] = counter.value
+        return {
+            "snapshot": self.store.stats(),
+            "requests": totals,
+            "response_cache": self._cache.stats(),
+        }

@@ -1,0 +1,262 @@
+"""Snapshot lifecycle: load mapping generations and hot-swap atomically.
+
+The store holds at most one *active* :class:`Snapshot` — an immutable
+:class:`~repro.serve.index.MappingIndex` plus its generation number and
+provenance.  Swapping installs a fully-built replacement with a single
+reference assignment, so a reader either sees the old generation or the
+new one, never a half-loaded index.  Replaced generations are parked on a
+retiring list until every reader lease against them is released
+(:meth:`SnapshotStore.drain`), mirroring how a production serving tier
+drains connections before dropping a shard.
+
+Generations can come from four sources: an in-memory pipeline result, an
+``OrgMapping`` JSON file, a CAIDA-format release file (the round-trip
+``borges release`` → ``borges serve``), or a merge-stage artifact in the
+content-addressed :class:`~repro.core.artifacts.ArtifactStore`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..core.artifacts import ArtifactStore
+from ..core.mapping import OrgMapping
+from ..errors import DataError, NoSnapshotError, ReproError
+from ..logutil import get_logger
+from ..obs import get_registry
+from .index import MappingIndex
+
+_LOG = get_logger("serve.store")
+
+
+@dataclass
+class Snapshot:
+    """One loaded generation of the mapping, with reader accounting."""
+
+    index: MappingIndex
+    generation: int
+    source: str
+    label: str
+    _readers: int = field(default=0, repr=False)
+    _drained: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "source": self.source,
+            "label": self.label,
+            **self.index.stats(),
+        }
+
+
+class SnapshotStore:
+    """Atomic holder of the active mapping generation.
+
+    Readers call :meth:`current` (one attribute read — atomic under the
+    GIL) or take a lease with :meth:`acquire` when they need the same
+    generation across several lookups.  Writers call one of the
+    ``load_from_*`` methods; each builds the index *outside* the lock and
+    installs it with :meth:`swap`.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self._registry = registry or get_registry()
+        self._lock = threading.Lock()
+        self._active: Optional[Snapshot] = None
+        self._retiring: List[Snapshot] = []
+        self._next_generation = 1
+        #: True when the last swap attempt failed and an older generation
+        #: is still being served (the degraded/stale read path).
+        self.stale = False
+
+    # -- reader side -------------------------------------------------------
+
+    def current(self) -> Snapshot:
+        snapshot = self._active
+        if snapshot is None:
+            raise NoSnapshotError()
+        return snapshot
+
+    def current_or_none(self) -> Optional[Snapshot]:
+        return self._active
+
+    def acquire(self) -> "_Lease":
+        """A context-managed reader lease on the active generation."""
+        with self._lock:
+            snapshot = self._active
+            if snapshot is None:
+                raise NoSnapshotError()
+            snapshot._readers += 1
+        return _Lease(self, snapshot)
+
+    def _release(self, snapshot: Snapshot) -> None:
+        with self._lock:
+            snapshot._readers -= 1
+            if snapshot._readers <= 0 and snapshot is not self._active:
+                snapshot._drained.set()
+
+    # -- writer side -------------------------------------------------------
+
+    def swap(self, index: MappingIndex, source: str, label: str) -> Snapshot:
+        """Install *index* as the active generation; returns the snapshot."""
+        with self._lock:
+            snapshot = Snapshot(
+                index=index,
+                generation=self._next_generation,
+                source=source,
+                label=label,
+            )
+            self._next_generation += 1
+            previous = self._active
+            self._active = snapshot
+            if previous is not None:
+                if previous._readers <= 0:
+                    previous._drained.set()
+                else:
+                    self._retiring.append(previous)
+            self.stale = False
+        self._registry.counter(
+            "serve_snapshot_swaps_total", "Snapshot generations installed"
+        ).inc()
+        self._registry.gauge(
+            "serve_snapshot_generation", "Active snapshot generation"
+        ).set(snapshot.generation)
+        _LOG.info(
+            "snapshot generation %d installed from %s (%s)",
+            snapshot.generation, source, label,
+        )
+        return snapshot
+
+    def try_swap(
+        self, loader: Callable[[], Snapshot], label: str = ""
+    ) -> Optional[Snapshot]:
+        """Attempt a swap; on failure keep serving the old generation.
+
+        This is the resilience boundary of the read path: a corrupt
+        release file or unreadable artifact must not take down a serving
+        process that already holds a good generation.  The failure is
+        counted, the store is marked ``stale``, and ``None`` is returned.
+        """
+        try:
+            return loader()
+        except (ReproError, OSError, ValueError, KeyError) as exc:
+            with self._lock:
+                self.stale = self._active is not None
+            self._registry.counter(
+                "serve_snapshot_swap_failures_total",
+                "Snapshot loads that failed (old generation kept)",
+            ).inc()
+            _LOG.warning("snapshot swap failed (%s): %s", label, exc)
+            return None
+
+    def drain(self, timeout: float = 5.0) -> int:
+        """Wait for retired generations to lose their last reader.
+
+        Returns the number of generations actually retired; generations
+        still held past *timeout* stay on the retiring list.
+        """
+        with self._lock:
+            pending = list(self._retiring)
+        deadline = time.monotonic() + timeout
+        retired = 0
+        for snapshot in pending:
+            remaining = max(0.0, deadline - time.monotonic())
+            if snapshot._drained.wait(remaining):
+                retired += 1
+                with self._lock:
+                    if snapshot in self._retiring:
+                        self._retiring.remove(snapshot)
+        if retired:
+            self._registry.counter(
+                "serve_snapshots_retired_total",
+                "Replaced generations fully drained of readers",
+            ).inc(retired)
+        return retired
+
+    # -- loaders -----------------------------------------------------------
+
+    def load_from_mapping(
+        self,
+        mapping: OrgMapping,
+        whois=None,
+        pdb=None,
+        label: str = "in-memory",
+    ) -> Snapshot:
+        index = MappingIndex.build(mapping, whois=whois, pdb=pdb)
+        return self.swap(index, source="mapping", label=label)
+
+    def load_from_mapping_file(self, path: Union[str, Path]) -> Snapshot:
+        path = Path(path)
+        index = MappingIndex.build(OrgMapping.load(path))
+        return self.swap(index, source="mapping-file", label=str(path))
+
+    def load_from_release_file(self, path: Union[str, Path]) -> Snapshot:
+        """Load a CAIDA-format as2org release file as a generation.
+
+        This closes the publish/serve round trip: the file written by
+        ``borges release`` (or CAIDA's own AS2Org file) groups ASNs by
+        ``organizationId``; each group becomes one served organization.
+        """
+        from ..whois import load_as2org_file
+
+        path = Path(path)
+        whois = load_as2org_file(path)
+        mapping = OrgMapping(
+            universe=whois.asns(),
+            clusters=[
+                frozenset(members) for members in whois.members().values()
+            ],
+            method="release",
+            org_names={asn: whois.org_name_of(asn) for asn in whois.asns()},
+        )
+        index = MappingIndex.build(mapping, whois=whois)
+        return self.swap(index, source="release-file", label=str(path))
+
+    def load_from_artifact_store(
+        self, store: ArtifactStore, fingerprint: str
+    ) -> Snapshot:
+        """Load a merge-stage artifact (an encoded ``OrgMapping``)."""
+        artifact = store.get("merge", fingerprint)
+        if artifact is None:
+            raise DataError(f"no merge artifact with fingerprint {fingerprint}")
+        mapping = OrgMapping.from_json(artifact.payload)  # type: ignore[arg-type]
+        index = MappingIndex.build(mapping)
+        return self.swap(
+            index, source="artifact", label=f"merge:{fingerprint[:12]}"
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            active = self._active
+            retiring = len(self._retiring)
+        out: Dict[str, object] = {
+            "stale": self.stale,
+            "retiring_generations": retiring,
+        }
+        if active is not None:
+            out["active"] = active.describe()
+        return out
+
+
+class _Lease:
+    """Context manager pinning one snapshot for a reader."""
+
+    __slots__ = ("_store", "snapshot")
+
+    def __init__(self, store: SnapshotStore, snapshot: Snapshot) -> None:
+        self._store = store
+        self.snapshot = snapshot
+
+    def __enter__(self) -> Snapshot:
+        return self.snapshot
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._store._release(self.snapshot)

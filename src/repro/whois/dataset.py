@@ -7,7 +7,7 @@ Factor graph's vertex set is *all networks appearing in WHOIS records*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import SchemaError, UnknownASNError
 from ..types import ASN, WhoisOrgID
@@ -20,6 +20,12 @@ class WhoisDataset:
 
     orgs: Dict[WhoisOrgID, WhoisOrg] = field(default_factory=dict)
     delegations: Dict[ASN, ASNDelegation] = field(default_factory=dict)
+    # Cached org_id→members index, keyed by the delegation count it was
+    # built from so a dataset assembled incrementally (more delegations
+    # added after a lookup) invalidates instead of serving a stale index.
+    _members_cache: Optional[Tuple[int, Dict[WhoisOrgID, List[ASN]]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def build(
@@ -65,19 +71,22 @@ class WhoisDataset:
     def org_name_of(self, asn: ASN) -> str:
         return self.org_of(asn).name
 
+    def _members_index(self) -> Dict[WhoisOrgID, List[ASN]]:
+        cache = self._members_cache
+        if cache is None or cache[0] != len(self.delegations):
+            index: Dict[WhoisOrgID, List[ASN]] = {}
+            for asn in self.asns():
+                index.setdefault(self.delegations[asn].org_id, []).append(asn)
+            self._members_cache = cache = (len(self.delegations), index)
+        return cache[1]
+
     def members(self) -> Dict[WhoisOrgID, List[ASN]]:
         """org_id → sorted member ASNs (the OID_W clustering / AS2Org)."""
-        result: Dict[WhoisOrgID, List[ASN]] = {}
-        for asn in self.asns():
-            result.setdefault(self.delegations[asn].org_id, []).append(asn)
-        return result
+        return {k: list(v) for k, v in self._members_index().items()}
 
     def siblings_of(self, asn: ASN) -> Set[ASN]:
         """All ASNs sharing *asn*'s WHOIS org (including *asn* itself)."""
-        org_id = self.org_id_of(asn)
-        return {
-            a for a, d in self.delegations.items() if d.org_id == org_id
-        }
+        return set(self._members_index()[self.org_id_of(asn)])
 
     def stats(self) -> Dict[str, float]:
         members = self.members()

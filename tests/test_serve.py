@@ -1,0 +1,510 @@
+"""Tests for the serve subsystem: index, snapshot store, service, HTTP.
+
+The index-correctness tests cross-check every answer against the raw
+:class:`OrgMapping`; the hot-swap test hammers the service from reader
+threads while generations are swapped underneath them and asserts zero
+failed requests; the HTTP tests exercise every endpoint contract
+including the 400/404/503 paths and parse the ``/metrics`` exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.mapping import OrgMapping
+from repro.core.release import save_mapping_as2org
+from repro.errors import (
+    NoSnapshotError,
+    UnknownASNError,
+    UnknownOrgError,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import (
+    LoadGenerator,
+    MappingIndex,
+    QueryServer,
+    QueryService,
+    SnapshotStore,
+    ZipfianSampler,
+    org_handle,
+    tokenize,
+)
+
+
+@pytest.fixture()
+def registry():
+    with use_registry() as reg:
+        yield reg
+
+
+@pytest.fixture(scope="module")
+def index(borges_mapping, universe):
+    return MappingIndex.build(
+        borges_mapping, whois=universe.whois, pdb=universe.pdb
+    )
+
+
+def make_service(mapping, registry, whois=None, pdb=None) -> QueryService:
+    service = QueryService(registry=registry)
+    service.store.load_from_mapping(mapping, whois=whois, pdb=pdb)
+    return service
+
+
+# -- MappingIndex ----------------------------------------------------------
+
+
+class TestMappingIndex:
+    def test_every_asn_resolves_to_its_mapping_cluster(
+        self, index, borges_mapping
+    ):
+        for asn in index.asns():
+            record = index.lookup_asn(asn)
+            assert set(record.org.members) == set(
+                borges_mapping.cluster_of(asn)
+            )
+            assert record.org.name == borges_mapping.org_name_of(asn)
+
+    def test_org_handles_follow_release_scheme(self, index, borges_mapping):
+        for cluster in borges_mapping.clusters():
+            handle = org_handle(min(cluster))
+            assert tuple(sorted(cluster)) == index.org(handle).members
+
+    def test_org_records_partition_the_universe(self, index, borges_mapping):
+        seen = set()
+        total = 0
+        for asn in index.asns():
+            org = index.org_of(asn)
+            seen.add(org.org_id)
+            total += 1
+        assert total == borges_mapping.universe_size
+        sizes = sum(index.org(o).size for o in seen)
+        assert sizes == borges_mapping.universe_size
+
+    def test_sibling_verdicts_match_mapping(self, index, borges_mapping):
+        multi = borges_mapping.multi_asn_clusters()[0]
+        a, b = sorted(multi)[:2]
+        assert index.are_siblings(a, b)
+        assert not index.are_siblings(a, -1)
+        lonely = [
+            c for c in borges_mapping.clusters() if len(c) == 1
+        ][0]
+        assert not index.are_siblings(a, next(iter(lonely)))
+
+    def test_unknown_lookups_raise(self, index):
+        with pytest.raises(UnknownASNError):
+            index.lookup_asn(-42)
+        with pytest.raises(UnknownOrgError):
+            index.org("BORGES-NOPE")
+
+    def test_search_finds_org_by_name_token(self, index):
+        some_org = index.org_of(index.asns()[0])
+        token = tokenize(some_org.name)[0]
+        results = index.search(token, limit=50)
+        assert any(r.org_id == some_org.org_id for r in results)
+
+    def test_search_prefix_and_ranking(self, index):
+        some_org = index.org_of(index.asns()[0])
+        token = tokenize(some_org.name)[0]
+        prefix = token[: max(2, len(token) - 1)]
+        results = index.search(prefix, limit=200)
+        assert any(r.org_id == some_org.org_id for r in results)
+        assert index.search("", limit=5) == []
+        assert index.search(token, limit=0) == []
+
+    def test_metadata_enrichment(self, index, universe):
+        asn = index.asns()[0]
+        record = index.lookup_asn(asn)
+        assert record.name == universe.whois.delegations[asn].name
+        assert record.org.country == universe.whois.org_of(
+            min(record.org.members)
+        ).country
+
+
+# -- SnapshotStore ---------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_empty_store_raises(self, registry):
+        store = SnapshotStore(registry=registry)
+        with pytest.raises(NoSnapshotError):
+            store.current()
+        with pytest.raises(NoSnapshotError):
+            store.acquire()
+
+    def test_swap_bumps_generation_and_gauge(self, borges_mapping, registry):
+        store = SnapshotStore(registry=registry)
+        first = store.load_from_mapping(borges_mapping)
+        second = store.load_from_mapping(borges_mapping)
+        assert (first.generation, second.generation) == (1, 2)
+        assert store.current() is second
+        assert registry.value("serve_snapshot_swaps_total") == 2.0
+        assert registry.value("serve_snapshot_generation") == 2.0
+
+    def test_drain_waits_for_reader_leases(self, borges_mapping, registry):
+        store = SnapshotStore(registry=registry)
+        store.load_from_mapping(borges_mapping)
+        lease = store.acquire()
+        old = lease.snapshot
+        store.load_from_mapping(borges_mapping)
+        assert store.drain(timeout=0.05) == 0  # reader still holds gen 1
+        lease.__exit__(None, None, None)
+        assert store.drain(timeout=1.0) == 1
+        assert old is not store.current()
+
+    def test_try_swap_keeps_old_generation_and_marks_stale(
+        self, borges_mapping, registry, tmp_path
+    ):
+        store = SnapshotStore(registry=registry)
+        good = store.load_from_mapping(borges_mapping)
+        result = store.try_swap(
+            lambda: store.load_from_release_file(tmp_path / "missing.jsonl"),
+            label="missing file",
+        )
+        assert result is None
+        assert store.current() is good
+        assert store.stale
+        assert registry.value("serve_snapshot_swap_failures_total") == 1.0
+        # a successful swap clears the stale flag
+        store.load_from_mapping(borges_mapping)
+        assert not store.stale
+
+    def test_release_file_round_trip(
+        self, borges_mapping, universe, registry, tmp_path
+    ):
+        path = tmp_path / "release.jsonl"
+        save_mapping_as2org(borges_mapping, universe.whois, path)
+        store = SnapshotStore(registry=registry)
+        snapshot = store.load_from_release_file(path)
+        index = snapshot.index
+        assert index.asn_count == borges_mapping.universe_size
+        for cluster in borges_mapping.multi_asn_clusters()[:10]:
+            members = sorted(cluster)
+            assert index.are_siblings(members[0], members[-1])
+            assert index.org_of(members[0]).members == tuple(members)
+
+    def test_mapping_file_round_trip(self, borges_mapping, registry, tmp_path):
+        path = tmp_path / "mapping.json"
+        borges_mapping.save(path)
+        store = SnapshotStore(registry=registry)
+        index = store.load_from_mapping_file(path).index
+        asn = index.asns()[0]
+        assert set(index.org_of(asn).members) == set(
+            borges_mapping.cluster_of(asn)
+        )
+
+    def test_artifact_store_source(self, borges_mapping, registry):
+        from repro.core.artifacts import ArtifactStore, make_artifact
+
+        artifacts = ArtifactStore()
+        artifact = make_artifact(
+            "merge", "f" * 64, borges_mapping.to_json()
+        )
+        artifacts.put(artifact)
+        store = SnapshotStore(registry=registry)
+        snapshot = store.load_from_artifact_store(artifacts, "f" * 64)
+        assert snapshot.index.asn_count == borges_mapping.universe_size
+
+
+# -- QueryService ----------------------------------------------------------
+
+
+class TestQueryService:
+    def test_lookup_matches_index_and_caches(self, borges_mapping, registry):
+        service = make_service(borges_mapping, registry)
+        asn = service.store.current().index.asns()[0]
+        first = service.lookup_asn(asn)
+        second = service.lookup_asn(asn)
+        assert first == second
+        assert service._cache.stats()["hits"] == 1
+        assert registry.value(
+            "serve_requests_total", endpoint="asn", status="ok"
+        ) == 2.0
+
+    def test_batch_lookup_tolerates_unknowns(self, borges_mapping, registry):
+        service = make_service(borges_mapping, registry)
+        asns = service.store.current().index.asns()[:3]
+        out = service.batch_lookup(asns + [-5])
+        assert [r.get("asn") for r in out] == asns + [-5]
+        assert out[-1]["error"] == "unknown_asn"
+
+    def test_unavailable_before_first_snapshot(self, registry):
+        service = QueryService(registry=registry)
+        with pytest.raises(NoSnapshotError):
+            service.lookup_asn(1)
+        ready, body = service.health()
+        assert not ready and body["status"] == "unavailable"
+
+    def test_swap_invalidates_cache_via_generation(
+        self, borges_mapping, registry
+    ):
+        service = make_service(borges_mapping, registry)
+        asn = service.store.current().index.asns()[0]
+        assert service.lookup_asn(asn)["generation"] == 1
+        service.store.load_from_mapping(borges_mapping)
+        assert service.lookup_asn(asn)["generation"] == 2
+
+    def test_latency_histogram_uses_submillisecond_buckets(
+        self, borges_mapping, registry
+    ):
+        service = make_service(borges_mapping, registry)
+        service.lookup_asn(service.store.current().index.asns()[0])
+        hist = service._latency["asn"]
+        assert hist.buckets[0] < 0.001
+        assert hist.count == 1
+        # an in-memory lookup must land below the 1 ms bound, not in the
+        # pipeline-scale tail the old default buckets started at
+        sub_ms = sum(
+            count
+            for bound, count in zip(hist.buckets, hist.bucket_counts)
+            if bound <= 0.001
+        )
+        assert sub_ms == 1
+
+    def test_hot_swap_under_concurrent_readers(self, borges_mapping, registry):
+        """Readers never see a half-loaded snapshot or a failed request."""
+        service = make_service(borges_mapping, registry)
+        asns = service.store.current().index.asns()[:64]
+        errors: list = []
+        generations = set()
+        stop = threading.Event()
+
+        def reader() -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    response = service.lookup_asn(asns[i % len(asns)])
+                    generations.add(response["generation"])
+                    if i % 7 == 0:
+                        service.siblings(asns[0], asns[1])
+                except Exception as exc:  # noqa: BLE001 — test collects all
+                    errors.append(exc)
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(10):
+            service.store.load_from_mapping(borges_mapping)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        service.store.drain(timeout=1.0)
+        assert errors == []
+        assert len(generations) >= 2  # readers observed the swap happening
+
+    def test_stats_shape(self, borges_mapping, registry):
+        service = make_service(borges_mapping, registry)
+        service.lookup_asn(service.store.current().index.asns()[0])
+        stats = service.stats()
+        assert stats["requests"]["asn.ok"] == 1.0
+        assert stats["snapshot"]["active"]["generation"] == 1
+
+
+# -- load generator --------------------------------------------------------
+
+
+class TestLoadGen:
+    def test_zipf_sampler_is_seeded_and_skewed(self):
+        items = list(range(1, 101))
+        a = list(ZipfianSampler(items, seed=9).stream(500))
+        b = list(ZipfianSampler(items, seed=9).stream(500))
+        assert a == b
+        top = max(set(a), key=a.count)
+        assert a.count(top) > 500 / 100  # far above uniform share
+
+    def test_load_report(self, borges_mapping, registry):
+        service = make_service(borges_mapping, registry)
+        gen = LoadGenerator(
+            service, service.store.current().index.asns(), seed=3
+        )
+        report = gen.run(200, sibling_fraction=0.1, unknown_fraction=0.05)
+        assert report.requests == 200
+        assert report.ok + report.not_found == 200
+        assert report.not_found == report.mix["unknown"]
+        assert report.qps > 0
+        assert sum(report.mix.values()) == 200
+
+
+# -- HTTP API --------------------------------------------------------------
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get_error(url: str):
+    try:
+        urllib.request.urlopen(url, timeout=5)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+    raise AssertionError(f"expected an HTTP error from {url}")
+
+
+class TestHTTPAPI:
+    @pytest.fixture()
+    def server(self, borges_mapping, universe, registry):
+        service = make_service(
+            borges_mapping, registry, whois=universe.whois, pdb=universe.pdb
+        )
+        with QueryServer(service) as srv:
+            yield srv
+
+    def test_asn_endpoint_contract(self, server, borges_mapping):
+        asn = server.service.store.current().index.asns()[0]
+        status, body = _get(f"{server.url}/v1/asn/{asn}")
+        assert status == 200
+        assert body["asn"] == asn
+        assert set(body["org"]["members"]) == set(
+            borges_mapping.cluster_of(asn)
+        )
+        assert _get_error(f"{server.url}/v1/asn/999999999")[0] == 404
+        assert _get_error(f"{server.url}/v1/asn/banana")[0] == 400
+
+    def test_org_endpoint_contract(self, server):
+        index = server.service.store.current().index
+        handle = index.org_of(index.asns()[0]).org_id
+        status, body = _get(f"{server.url}/v1/org/{handle}")
+        assert status == 200 and body["org_id"] == handle
+        assert _get_error(f"{server.url}/v1/org/BORGES-NOPE")[0] == 404
+
+    def test_siblings_endpoint_contract(self, server, borges_mapping):
+        a, b = sorted(borges_mapping.multi_asn_clusters()[0])[:2]
+        status, body = _get(f"{server.url}/v1/siblings?a={a}&b={b}")
+        assert status == 200 and body["siblings"] is True
+        status, body = _get(f"{server.url}/v1/siblings?asn={a}")
+        assert status == 200 and b in body["siblings"]
+        assert _get_error(f"{server.url}/v1/siblings")[0] == 400
+        assert _get_error(f"{server.url}/v1/siblings?a=1")[0] == 400
+        assert _get_error(f"{server.url}/v1/siblings?a=x&b=2")[0] == 400
+
+    def test_search_endpoint_contract(self, server):
+        index = server.service.store.current().index
+        token = tokenize(index.org_of(index.asns()[0]).name)[0]
+        status, body = _get(f"{server.url}/v1/search?q={token}&limit=5")
+        assert status == 200
+        assert len(body["results"]) <= 5
+        assert _get_error(f"{server.url}/v1/search")[0] == 400
+
+    def test_batch_endpoint(self, server):
+        asns = server.service.store.current().index.asns()[:4]
+        request = urllib.request.Request(
+            f"{server.url}/v1/batch",
+            data=json.dumps({"asns": asns}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            body = json.loads(response.read())
+        assert [r["asn"] for r in body["results"]] == asns
+
+    def test_unknown_route_404(self, server):
+        assert _get_error(f"{server.url}/v2/nope")[0] == 404
+
+    def test_healthz_and_metrics(self, server, registry):
+        status, body = _get(f"{server.url}/healthz")
+        assert status == 200 and body["status"] == "ok"
+        asn = server.service.store.current().index.asns()[0]
+        _get(f"{server.url}/v1/asn/{asn}")
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as r:
+            text = r.read().decode()
+        # parse the exposition: every serve_requests_total sample must
+        # carry endpoint/status labels and an integer value
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("serve_requests_total{"):
+                labels, value = line.rsplit(" ", 1)
+                samples[labels] = float(value)
+        assert (
+            samples['serve_requests_total{endpoint="asn",status="ok"}'] >= 1
+        )
+        assert "serve_request_seconds_bucket" in text
+        assert "serve_http_requests_total" in text
+
+    def test_healthz_503_when_empty(self, registry):
+        service = QueryService(registry=registry)
+        with QueryServer(service) as srv:
+            assert _get_error(f"{srv.url}/healthz")[0] == 503
+            assert _get_error(f"{srv.url}/v1/asn/1")[0] == 503
+
+
+# -- CLI surface -----------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_release_then_query_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "rel.jsonl"
+        with use_registry():
+            assert main(["--orgs", "40", "release", "--out", str(out)]) == 0
+        released = capsys.readouterr().out
+        assert "released" in released and out.exists()
+        with use_registry():
+            assert (
+                main(["query", "--snapshot", str(out), "--search", "a"]) == 0
+            )
+        queried = capsys.readouterr().out
+        assert '"results"' in queried
+
+    def test_query_unknown_asn_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "rel.jsonl"
+        with use_registry():
+            main(["--orgs", "40", "release", "--out", str(out)])
+            assert main(["query", "--snapshot", str(out), "-1"]) == 1
+        assert "unknown_asn" in capsys.readouterr().out
+
+    def test_query_without_arguments_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["query"]) == 2
+        assert "nothing to query" in capsys.readouterr().out
+
+
+# -- perf-fix satellites ---------------------------------------------------
+
+
+class TestMappingCaches:
+    def test_org_name_cache_matches_uncached_semantics(self):
+        mapping = OrgMapping(
+            universe=[1, 2, 3, 4],
+            clusters=[[1, 2], [3]],
+            org_names={2: "Two Corp"},
+        )
+        # cluster {1,2}: lowest member with a name wins; {3},{4} fall back
+        assert mapping.org_name_of(1) == "Two Corp"
+        assert mapping.org_name_of(2) == "Two Corp"
+        assert mapping.org_name_of(3) == "AS3"
+        assert mapping.org_name_of(4) == "AS4"
+        # repeated calls are served from the cached per-cluster list
+        assert mapping._display_names is not None
+
+    def test_sizes_cached_and_fresh_copies(self, borges_mapping):
+        first = borges_mapping.sizes()
+        second = borges_mapping.sizes()
+        assert first == second
+        first.append(-1)  # caller mutation must not poison the cache
+        assert borges_mapping.sizes() == second
+
+    def test_whois_siblings_index(self, universe):
+        whois = universe.whois
+        asn = whois.asns()[0]
+        expected = {
+            a
+            for a, d in whois.delegations.items()
+            if d.org_id == whois.org_id_of(asn)
+        }
+        assert whois.siblings_of(asn) == expected
+        # members() hands out copies, not the cached lists
+        members = whois.members()
+        org_id = whois.org_id_of(asn)
+        members[org_id].append(-1)
+        assert -1 not in whois.members()[org_id]
