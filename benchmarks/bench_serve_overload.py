@@ -1,0 +1,244 @@
+"""Overload and integrity benches for the serve tier.
+
+The acceptance bars the admission gate and snapshot guardrails are held
+to, all on the default synthetic universe:
+
+* at 4× saturation (16 workers against 4 slots) the service answers
+  **zero 5xx** — surplus load is shed as 429, not crashed;
+* rejections are instant: a shed request is answered far inside its
+  deadline budget (shedding late is just a slower failure);
+* the p99 latency of *admitted* requests stays within 5× the unloaded
+  p99 — queueing is bounded, so the requests the gate accepts still get
+  a usable answer;
+* loading a corrupt snapshot mid-bench never interrupts serving: the
+  old generation keeps answering, marked stale;
+* :meth:`~repro.serve.store.SnapshotStore.rollback` restores the
+  last-known-good generation's content.
+
+Requests run against a ``slow-reader`` chaos profile (each request
+holds its admission slot for ~10 ms); that makes service time dominate
+thread-scheduling noise, so the queueing arithmetic — admitted p99 ≈
+(1 + queue/inflight) × service time — is what the bench measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+from repro.config import UniverseConfig
+from repro.core import BorgesPipeline
+from repro.core.release import save_mapping_as2org
+from repro.obs import MetricsRegistry
+from repro.resilience import PROFILES, FaultInjector, corrupt_snapshot_text
+from repro.serve import (
+    AdmissionController,
+    AdmissionLimits,
+    LoadGenerator,
+    QueryService,
+)
+from repro.serve.store import QUARANTINE_SUFFIX, SnapshotStore
+from repro.universe import generate_universe
+
+#: How long each request holds its slot under the slow-reader profile.
+SERVICE_SECONDS = 0.010
+
+LIMITS = AdmissionLimits(
+    max_inflight=4, max_queue=2, default_deadline=2.0
+)
+
+#: 4× the gate's concurrency — the saturation level under test.
+SATURATION_WORKERS = 4 * LIMITS.max_inflight
+
+#: Admitted p99 must stay within this factor of the unloaded p99.
+P99_FACTOR_BOUND = 5.0
+
+BASELINE_REQUESTS = 200
+OVERLOAD_REQUESTS = 800
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return generate_universe(UniverseConfig())
+
+
+@pytest.fixture(scope="module")
+def mapping(universe):
+    return BorgesPipeline(universe.whois, universe.pdb, universe.web).run().mapping
+
+
+def _slow_service(universe, mapping):
+    """An admission-gated service whose every request takes ~10 ms."""
+    registry = MetricsRegistry()
+    profile = dataclasses.replace(
+        PROFILES["slow-reader"], slow_read_seconds=SERVICE_SECONDS
+    )
+    injector = FaultInjector(profile, seed=11, registry=registry)
+    store = SnapshotStore(registry=registry)
+    service = QueryService(
+        store=store,
+        registry=registry,
+        admission=AdmissionController(LIMITS, registry=registry),
+        injector=injector,
+    )
+    store.load_from_mapping(mapping, whois=universe.whois, label="gen1")
+    return service
+
+
+def test_bench_overload_sheds_never_errors(benchmark, universe, mapping):
+    """4× saturation: zero 5xx, bounded admitted tail, instant rejections."""
+    service = _slow_service(universe, mapping)
+    asns = service.store.current().index.asns()
+    generator = LoadGenerator(service, asns, seed=3)
+
+    baseline = generator.run_overload(
+        BASELINE_REQUESTS, workers=1, herd_size=0
+    )
+    assert baseline.classes["429"] == 0, "unloaded run must not shed"
+
+    overload = benchmark.pedantic(
+        lambda: generator.run_overload(
+            OVERLOAD_REQUESTS,
+            workers=SATURATION_WORKERS,
+            herd_size=25,
+            backoff_seconds=SERVICE_SECONDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\noverload: {overload.classes} "
+        f"admitted p99 {overload.admitted_p99 * 1e3:.1f} ms "
+        f"vs unloaded {baseline.admitted_p99 * 1e3:.1f} ms"
+    )
+    benchmark.extra_info["classes"] = dict(overload.classes)
+    benchmark.extra_info["p99_factor"] = round(
+        overload.admitted_p99 / baseline.admitted_p99, 2
+    )
+    # Zero server errors at 4x saturation: overload degrades to shedding.
+    assert overload.classes["5xx"] == 0
+    # The gate actually engaged (the run would be meaningless otherwise).
+    assert overload.classes["429"] > 0
+    # Rejections were all instant 429s, not deadline-expired 503s: with a
+    # 2 s budget and a 2-deep queue nothing should ever wait that long.
+    assert overload.classes["deadline"] == 0
+    # Admitted requests still got timely answers.
+    assert overload.admitted_p99 <= P99_FACTOR_BOUND * baseline.admitted_p99
+
+
+def test_bench_shed_latency_within_deadline(benchmark, universe, mapping):
+    """A saturated gate rejects in microseconds, not after the deadline."""
+    service = _slow_service(universe, mapping)
+    gate = service.admission
+    tickets = [gate.admit("asn") for _ in range(LIMITS.max_inflight)]
+    release_waiters = threading.Event()
+    waiters = []
+
+    def waiter() -> None:
+        with gate.admit("asn"):
+            release_waiters.wait(timeout=30.0)
+
+    for _ in range(LIMITS.max_queue):
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        waiters.append(thread)
+    deadline = time.monotonic() + 5.0
+    while gate.occupancy()["queued"] < LIMITS.max_queue:
+        if time.monotonic() > deadline:
+            raise AssertionError("queue never filled")
+        time.sleep(0.001)
+
+    rejections = []
+
+    def shed_once() -> float:
+        t0 = time.perf_counter()
+        try:
+            with gate.admit("asn"):
+                raise AssertionError("saturated gate admitted a request")
+        except Exception as exc:  # noqa: BLE001 — expected OverloadedError
+            elapsed = time.perf_counter() - t0
+            rejections.append((type(exc).__name__, elapsed))
+            return elapsed
+
+    try:
+        benchmark.pedantic(shed_once, rounds=20, iterations=1)
+    finally:
+        for ticket in tickets:
+            ticket.__exit__(None, None, None)
+        release_waiters.set()
+        for thread in waiters:
+            thread.join(timeout=5.0)
+    assert rejections
+    for name, elapsed in rejections:
+        assert name == "OverloadedError"
+        assert elapsed < LIMITS.default_deadline
+
+
+def test_bench_corrupt_swap_mid_load_then_rollback(
+    benchmark, universe, mapping, tmp_path
+):
+    """A corrupt snapshot mid-bench never interrupts serving; rollback works."""
+    service = _slow_service(universe, mapping)
+    store = service.store
+    asns = service.store.current().index.asns()[:256]
+    gen1_stats = store.current().index.stats()
+
+    good = tmp_path / "good_release.jsonl"
+    save_mapping_as2org(mapping, universe.whois, good)
+    corrupt = tmp_path / "corrupt_release.jsonl"
+    corrupt.write_text(
+        corrupt_snapshot_text(good.read_text(encoding="utf-8"), seed=5),
+        encoding="utf-8",
+    )
+
+    errors: list = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        i = 0
+        while not stop.is_set():
+            try:
+                service.lookup_asn(asns[i % len(asns)])
+            except Exception as exc:  # noqa: BLE001 — bench counts failures
+                errors.append(exc)
+                return
+            i += 1
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        # A second good generation, so there is history to roll back to.
+        store.load_from_release_file(good)
+        generation_before = store.current().generation
+
+        # The corrupt load mid-traffic: must fail closed, keep serving.
+        swapped = benchmark.pedantic(
+            lambda: store.try_swap(
+                lambda: store.load_from_release_file(corrupt),
+                label="corrupt mid-bench",
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert swapped is None
+        assert store.current().generation == generation_before
+        assert store.stale
+        # The bad file was quarantined, so a supervisor retry loop cannot
+        # re-feed the same bytes.
+        assert not corrupt.exists()
+        assert corrupt.with_name(corrupt.name + QUARANTINE_SUFFIX).exists()
+
+        # Rollback restores the last-known-good content (generation 1).
+        restored = service.rollback()
+        assert restored["generation"] > generation_before
+        assert store.current().index.stats() == gen1_stats
+        assert not store.stale
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+    assert errors == []

@@ -1,17 +1,30 @@
 #!/usr/bin/env python3
 """CI smoke test for the serve subsystem.
 
-Boots the HTTP query server on an ephemeral port over a small universe,
-hits every endpoint (including the 400/404 contracts), performs a hot
-snapshot swap from a freshly-written release file while background
-readers are active, asserts zero failed requests, and shuts the server
-down cleanly.  Exits non-zero on the first violated expectation.
+Default mode boots the HTTP query server on an ephemeral port over a
+small universe, hits every endpoint (including the 400/404 contracts),
+performs a hot snapshot swap from a freshly-written release file while
+background readers are active, asserts zero failed requests, and shuts
+the server down cleanly.  Exits non-zero on the first violated
+expectation.
 
-Run:  PYTHONPATH=src python scripts/serve_smoke.py
+``--chaos corrupt-snapshot`` replays the swap with a fault injector
+that corrupts every snapshot file read: the swap must fail closed (old
+generation keeps serving, zero 5xx), the input file must be
+quarantined, and ``POST /v1/admin/rollback`` must restore the
+last-known-good generation.
+
+``--chaos thundering-herd`` fires synchronized waves of concurrent
+clients at a deliberately tiny admission gate: every response must be
+200/404/429 — never a 5xx — and the rollback path must work under
+that load.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py [--chaos PROFILE]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import threading
@@ -25,13 +38,34 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.config import UniverseConfig  # noqa: E402
 from repro.core import BorgesPipeline  # noqa: E402
 from repro.core.release import save_mapping_as2org  # noqa: E402
-from repro.serve import QueryServer, QueryService  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.resilience import PROFILES, FaultInjector  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AdmissionController,
+    AdmissionLimits,
+    QueryServer,
+    QueryService,
+)
+from repro.serve.store import QUARANTINE_SUFFIX, SnapshotStore  # noqa: E402
 from repro.universe import generate_universe  # noqa: E402
 
 
 def fetch(url: str):
     try:
         with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(url: str, payload: dict):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read())
@@ -44,15 +78,163 @@ def expect(condition: bool, label: str) -> None:
         sys.exit(f"serve smoke failed: {label}")
 
 
-def main() -> int:
+def _small_world():
+    """(universe, mapping) shared by every smoke mode."""
     print("building universe + running pipeline...")
     universe = generate_universe(
         UniverseConfig(seed=5, n_organizations=300, total_users=20_000_000)
     )
-    result = BorgesPipeline(
-        universe.whois, universe.pdb, universe.web
-    ).run()
-    mapping = result.mapping
+    result = BorgesPipeline(universe.whois, universe.pdb, universe.web).run()
+    return universe, result.mapping
+
+
+def chaos_corrupt_snapshot() -> int:
+    """Corrupt every snapshot file read; serving must never blink."""
+    universe, mapping = _small_world()
+    registry = MetricsRegistry()
+    injector = FaultInjector(
+        PROFILES["corrupt-snapshot"], seed=13, registry=registry
+    )
+    store = SnapshotStore(registry=registry, injector=injector)
+    service = QueryService(store=store, registry=registry, injector=injector)
+    store.load_from_mapping(mapping, whois=universe.whois, label="gen1")
+
+    with QueryServer(service) as server:
+        base = server.url
+        print(f"server on {base} (corrupt-snapshot profile)")
+        asns = store.current().index.asns()[:100]
+        statuses: list = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            i = 0
+            while not stop.is_set():
+                code, _ = fetch(f"{base}/v1/asn/{asns[i % len(asns)]}")
+                statuses.append(code)
+                i += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+
+        print("corrupt swap under live readers:")
+        with TemporaryDirectory() as tmp:
+            release_path = Path(tmp) / "release.jsonl"
+            save_mapping_as2org(mapping, universe.whois, release_path)
+            swapped = store.try_swap(
+                lambda: store.load_from_release_file(release_path),
+                label="chaos release",
+            )
+            expect(swapped is None, "corrupt swap failed closed")
+            quarantined = release_path.with_name(
+                release_path.name + QUARANTINE_SUFFIX
+            )
+            expect(
+                not release_path.exists() and quarantined.exists(),
+                "corrupt input quarantined",
+            )
+        expect(store.current().generation == 1, "old generation still active")
+        code, body = fetch(f"{base}/healthz")
+        expect(
+            code == 200 and body["status"] == "degraded",
+            "healthz reports degraded (stale)",
+        )
+
+        # A good in-memory generation (chaos only bites file loads),
+        # then roll back to gen1 over the admin endpoint.
+        store.load_from_mapping(mapping, whois=universe.whois, label="gen2")
+        code, body = post(f"{base}/v1/admin/rollback", {})
+        expect(code == 200, "rollback endpoint answered 200")
+        expect(body["generation"] == 3, "rollback installed a new generation")
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        expect(
+            all(status in (200, 404) for status in statuses),
+            f"zero 5xx across {len(statuses)} chaos-mode requests",
+        )
+        code, body = fetch(f"{base}/v1/asn/{asns[0]}")
+        expect(
+            code == 200 and body["generation"] == 3,
+            "post-rollback answers from the restored generation",
+        )
+    print("corrupt-snapshot chaos smoke passed")
+    return 0
+
+
+def chaos_thundering_herd() -> int:
+    """Synchronized client waves against a tiny gate: shed, never 5xx."""
+    universe, mapping = _small_world()
+    profile = PROFILES["thundering-herd"]
+    registry = MetricsRegistry()
+    injector = FaultInjector(profile, seed=17, registry=registry)
+    admission = AdmissionController(
+        AdmissionLimits(max_inflight=1, max_queue=1, default_deadline=2.0),
+        registry=registry,
+    )
+    store = SnapshotStore(registry=registry)
+    service = QueryService(
+        store=store, registry=registry, admission=admission, injector=injector
+    )
+    store.load_from_mapping(mapping, whois=universe.whois, label="gen1")
+
+    with QueryServer(service) as server:
+        base = server.url
+        workers = profile.herd_multiplier * admission.limits.max_inflight
+        waves = 25
+        print(
+            f"server on {base} (thundering-herd: {workers} clients x "
+            f"{waves} waves against a 1-in-flight/1-queued gate)"
+        )
+        asns = store.current().index.asns()[:100]
+        statuses: list = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(workers)
+
+        def client(index: int) -> None:
+            local = []
+            for wave in range(waves):
+                try:
+                    barrier.wait(timeout=30.0)
+                except threading.BrokenBarrierError:
+                    break
+                code, _ = fetch(
+                    f"{base}/v1/asn/{asns[(index + wave) % len(asns)]}"
+                )
+                local.append(code)
+            with lock:
+                statuses.extend(local)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+
+        counts = {code: statuses.count(code) for code in sorted(set(statuses))}
+        print(f"  response codes: {counts}")
+        expect(len(statuses) == workers * waves, "every client finished")
+        expect(
+            all(status < 500 for status in statuses),
+            "zero 5xx under thundering herd",
+        )
+        expect(counts.get(429, 0) > 0, "the gate shed under the herd")
+        code, body = fetch(f"{base}/healthz")
+        expect(code == 200 and body["status"] == "ok", "healthz ok after herd")
+
+        # Rollback still works while the gate is this tight (admin calls
+        # are never admission-gated).
+        store.load_from_mapping(mapping, whois=universe.whois, label="gen2")
+        code, body = post(f"{base}/v1/admin/rollback", {})
+        expect(code == 200 and body["generation"] == 3, "rollback under load")
+    print("thundering-herd chaos smoke passed")
+    return 0
+
+
+def main() -> int:
+    universe, mapping = _small_world()
 
     service = QueryService()
     service.store.load_from_mapping(
@@ -133,4 +315,16 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos",
+        choices=("corrupt-snapshot", "thundering-herd"),
+        default=None,
+        help="run a chaos-profile smoke instead of the default contract sweep",
+    )
+    args = parser.parse_args()
+    if args.chaos == "corrupt-snapshot":
+        sys.exit(chaos_corrupt_snapshot())
+    elif args.chaos == "thundering-herd":
+        sys.exit(chaos_thundering_herd())
     sys.exit(main())

@@ -204,6 +204,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="concurrent requests admitted before queueing (0 disables "
+        "admission control; default 64)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        help="requests allowed to wait for a slot before shedding with "
+        "429 (default 128)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        help="per-request deadline while queued, in milliseconds; doubles "
+        "as the Retry-After hint on shed requests (default 1000)",
+    )
+    serve.add_argument(
+        "--history",
+        type=int,
+        default=3,
+        help="last-known-good generations retained for rollback (default 3)",
+    )
+    serve.add_argument(
+        "--rollback",
+        action="store_true",
+        help="instead of serving, ask the server already running at "
+        "--host/--port to roll back to its last-known-good snapshot",
+    )
 
     query = sub.add_parser(
         "query", help="one-shot lookups against a snapshot (no server)"
@@ -555,8 +588,20 @@ def _sniff_snapshot_kind(path: Path) -> str:
         return "release"
     import json as _json
 
+    from .whois.as2org_file import RELEASE_HEADER_PREFIX
+
+    first = ""
     with open(path, "r", encoding="utf-8") as fh:
-        first = fh.readline().strip()
+        for line in fh:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith(RELEASE_HEADER_PREFIX.rstrip()):
+                return "release"
+            if stripped.startswith("#"):
+                continue  # other comments say nothing about the format
+            first = stripped
+            break
     try:
         record = _json.loads(first)
     except ValueError:
@@ -566,11 +611,40 @@ def _sniff_snapshot_kind(path: Path) -> str:
     return "mapping"
 
 
+def _serve_injector(args: argparse.Namespace):
+    """A seeded FaultInjector when a chaos profile is in force, else None."""
+    from .resilience.faults import FaultInjector, resolve_fault_profile
+
+    profile = resolve_fault_profile(getattr(args, "fault_profile", None))
+    if not profile.active:
+        return None
+    return FaultInjector(profile, seed=args.seed, registry=get_registry())
+
+
 def _build_service(args: argparse.Namespace):
     """A QueryService with one generation loaded per the CLI options."""
-    from .serve import QueryService
+    from .serve import AdmissionController, AdmissionLimits, QueryService
+    from .serve.store import SnapshotStore
 
-    service = QueryService()
+    registry = get_registry()
+    injector = _serve_injector(args)
+    admission = None
+    max_inflight = getattr(args, "max_inflight", 0)
+    if max_inflight:
+        limits = AdmissionLimits(
+            max_inflight=max_inflight,
+            max_queue=getattr(args, "max_queue", 128),
+            default_deadline=getattr(args, "deadline_ms", 1000.0) / 1000.0,
+        ).validate()
+        admission = AdmissionController(limits, registry=registry)
+    store = SnapshotStore(
+        registry=registry,
+        history_limit=getattr(args, "history", 3),
+        injector=injector,
+    )
+    service = QueryService(
+        store=store, registry=registry, admission=admission, injector=injector
+    )
     if args.snapshot is not None:
         path: Path = args.snapshot
         if _sniff_snapshot_kind(path) == "release":
@@ -602,12 +676,47 @@ def _build_service(args: argparse.Namespace):
     return service
 
 
+def _cmd_rollback_client(args: argparse.Namespace) -> int:
+    """POST /v1/admin/rollback against an already-running server."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/v1/admin/rollback"
+    request = urllib.request.Request(url, data=b"{}", method="POST")
+    request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            body = _json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"rollback refused ({exc.code}): {detail}")
+        return 1
+    except OSError as exc:
+        print(f"rollback failed: cannot reach {url}: {exc}")
+        return 1
+    print(
+        f"rolled back to generation {body['generation']} "
+        f"({body['restored']}; {body['orgs']:,} orgs / {body['asns']:,} ASNs)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import QueryServer
 
+    if args.rollback:
+        return _cmd_rollback_client(args)
     service = _build_service(args)
     server = QueryServer(service, host=args.host, port=args.port)
     print(f"serving on {server.url}  (Ctrl-C to stop)")
+    if service.admission is not None:
+        limits = service.admission.limits
+        print(
+            f"admission: {limits.max_inflight} in-flight / "
+            f"{limits.max_queue} queued, "
+            f"{limits.default_deadline * 1e3:.0f} ms deadline"
+        )
     print(f"  try: curl {server.url}/v1/asn/{next(iter(service.store.current().index.asns()))}")
     server.serve_until_interrupt()
     stats = service.stats()

@@ -166,9 +166,18 @@ class OrgMapping:
 
     def save(self, path: Union[str, Path]) -> None:
         # sort_keys so the bytes don't depend on dict insertion order —
-        # two runs producing the same mapping save identical files.
+        # two runs producing the same mapping save identical files.  The
+        # embedded digest covers every other key, so a truncated or
+        # edited file is rejected at load time rather than silently
+        # served (see verify_mapping_payload).
+        from ..digest import stable_digest
+
+        payload = self.to_json()
+        payload["digest"] = stable_digest(
+            {k: v for k, v in payload.items() if k != "digest"}
+        )
         Path(path).write_text(
-            json.dumps(self.to_json(), sort_keys=True), encoding="utf-8"
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
         )
 
     @classmethod
@@ -185,4 +194,56 @@ class OrgMapping:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "OrgMapping":
-        return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        verify_mapping_payload(payload, origin=str(path))
+        return cls.from_json(payload)
+
+
+def verify_mapping_payload(
+    payload: object, origin: str = "<payload>"
+) -> None:
+    """Schema + digest checks for a serialized :class:`OrgMapping`.
+
+    Raises :class:`~repro.errors.SnapshotIntegrityError` when the
+    payload is not the shape :meth:`OrgMapping.save` writes or when an
+    embedded ``digest`` does not match the content.  Files without a
+    digest (pre-digest saves, hand-written mappings) pass the schema
+    checks only — verification is opt-out by absence, never silently
+    skipped when a digest is present.
+    """
+    from ..digest import stable_digest
+    from ..errors import SnapshotIntegrityError
+
+    def _fail(reason: str, **kwargs: str) -> None:
+        raise SnapshotIntegrityError(
+            source="mapping", reason=reason, path=origin, **kwargs
+        )
+
+    if not isinstance(payload, dict):
+        _fail(f"mapping payload must be an object, got {type(payload).__name__}")
+    universe = payload.get("universe")
+    if not isinstance(universe, list) or not universe:
+        _fail("mapping 'universe' must be a non-empty list of ASNs")
+    if not all(isinstance(a, int) and not isinstance(a, bool) for a in universe):
+        _fail("mapping 'universe' contains non-integer ASNs")
+    clusters = payload.get("clusters", [])
+    if not isinstance(clusters, list) or any(
+        not isinstance(c, list)
+        or any(not isinstance(a, int) or isinstance(a, bool) for a in c)
+        for c in clusters
+    ):
+        _fail("mapping 'clusters' must be lists of integer ASNs")
+    org_names = payload.get("org_names", {})
+    if not isinstance(org_names, dict):
+        _fail("mapping 'org_names' must be an object")
+    expected = payload.get("digest")
+    if expected is not None:
+        actual = stable_digest(
+            {k: v for k, v in payload.items() if k != "digest"}
+        )
+        if actual != expected:
+            _fail(
+                "mapping digest mismatch (truncated or tampered file)",
+                expected_digest=str(expected),
+                actual_digest=actual,
+            )

@@ -63,6 +63,97 @@ class NoSnapshotError(ServeError):
         super().__init__("no mapping snapshot loaded")
 
 
+class OverloadedError(ServeError):
+    """The admission gate shed this request (HTTP 429 analogue).
+
+    Shedding happens *before* any work: the concurrency gate is full and
+    the wait queue is at its depth limit, so the cheapest correct answer
+    is an immediate rejection with a retry hint.  ``retry_after`` is the
+    suggested client backoff in seconds.
+    """
+
+    retryable = True
+
+    def __init__(
+        self, endpoint: str, retry_after: float, inflight: int, queued: int
+    ) -> None:
+        super().__init__(
+            f"overloaded: {endpoint!r} shed with {inflight} in flight and "
+            f"{queued} queued; retry after {retry_after:.3f}s"
+        )
+        self.endpoint = endpoint
+        self.retry_after = retry_after
+        self.inflight = inflight
+        self.queued = queued
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired while it waited for admission.
+
+    Unlike :class:`OverloadedError` this request *did* spend its full
+    time budget queued — the service is saturated rather than bursting —
+    so the HTTP layer answers 503, not 429.
+    """
+
+    def __init__(self, endpoint: str, deadline: float) -> None:
+        super().__init__(
+            f"deadline exceeded: {endpoint!r} waited past its "
+            f"{deadline:.3f}s budget"
+        )
+        self.endpoint = endpoint
+        self.deadline = deadline
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A mapping/release input failed digest or schema verification.
+
+    Raised *before* :meth:`~repro.serve.store.SnapshotStore.swap`, so a
+    corrupt input can never become the active generation.  The fields
+    make the failure actionable: what was loaded, why it was rejected,
+    and where the corrupt bytes were quarantined (if they were a file).
+    """
+
+    def __init__(
+        self,
+        source: str,
+        reason: str,
+        path: str = "",
+        expected_digest: str = "",
+        actual_digest: str = "",
+        quarantined_to: str = "",
+    ) -> None:
+        detail = f"snapshot integrity failure ({source}): {reason}"
+        if path:
+            detail += f" [{path}]"
+        if quarantined_to:
+            detail += f" (quarantined to {quarantined_to})"
+        super().__init__(detail)
+        self.source = source
+        self.reason = reason
+        self.path = path
+        self.expected_digest = expected_digest
+        self.actual_digest = actual_digest
+        self.quarantined_to = quarantined_to
+
+    def to_json(self) -> dict:
+        """Structured form for logs, manifests and HTTP error bodies."""
+        return {
+            "source": self.source,
+            "reason": self.reason,
+            "path": self.path,
+            "expected_digest": self.expected_digest,
+            "actual_digest": self.actual_digest,
+            "quarantined_to": self.quarantined_to,
+        }
+
+
+class RollbackUnavailableError(ServeError):
+    """A rollback was requested but no last-known-good generation exists."""
+
+    def __init__(self) -> None:
+        super().__init__("no last-known-good generation to roll back to")
+
+
 class LLMError(ReproError):
     """Base class for LLM client/back-end failures."""
 

@@ -27,10 +27,12 @@ from .breaker import BreakerRegistry, CircuitBreaker
 from .faults import (
     ENV_FAULT_PROFILE,
     PROFILES,
+    SERVE_SURFACE,
     FaultInjector,
     FaultProfile,
     FaultyChatBackend,
     FaultyWeb,
+    corrupt_snapshot_text,
     resolve_fault_profile,
 )
 from .policy import RetryPolicy, is_retryable
@@ -45,6 +47,8 @@ __all__ = [
     "FaultProfile",
     "FaultyChatBackend",
     "FaultyWeb",
+    "SERVE_SURFACE",
+    "corrupt_snapshot_text",
     "resolve_fault_profile",
     "RetryPolicy",
     "is_retryable",

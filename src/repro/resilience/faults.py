@@ -47,9 +47,13 @@ ENV_FAULT_PROFILE = "BORGES_FAULT_PROFILE"
 
 LLM_SURFACE = "llm"
 WEB_SURFACE = "web"
+SERVE_SURFACE = "serve"
 
 #: Fraction of a truncated completion that survives.
 TRUNCATE_KEEP_FRACTION = 0.4
+
+#: Fraction of a corrupted snapshot file that survives truncation.
+SNAPSHOT_KEEP_FRACTION = 0.6
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,8 @@ class FaultProfile:
     web_timeout: float = 0.0
     web_reset: float = 0.0
     web_server_error: float = 0.0
+    serve_slow_read: float = 0.0
+    serve_corrupt_snapshot: float = 0.0
     #: When a fault fires, it repeats for this many consecutive calls on
     #: the same surface (correlated outages, not independent coin flips).
     burst_length: int = 1
@@ -72,6 +78,12 @@ class FaultProfile:
     #: ``k`` guarantees any retry policy with > ``k`` attempts recovers,
     #: which is what makes the ``flaky`` profile result-preserving.
     max_consecutive: int = 0
+    #: How long a serve-side ``slow_read`` fault stalls a request (the
+    #: handler sleeps while holding its admission slot).
+    slow_read_seconds: float = 0.002
+    #: Thundering-herd sizing hint for load generators: clients per
+    #: admission slot released simultaneously (0 = not a herd profile).
+    herd_multiplier: int = 0
 
     _RATE_FIELDS = (
         "llm_rate_limit",
@@ -81,6 +93,8 @@ class FaultProfile:
         "web_timeout",
         "web_reset",
         "web_server_error",
+        "serve_slow_read",
+        "serve_corrupt_snapshot",
     )
 
     def validate(self) -> "FaultProfile":
@@ -135,6 +149,34 @@ PROFILES: Dict[str, FaultProfile] = {
             llm_rate_limit=0.04,
             web_server_error=0.04,
             burst_length=8,
+        ),
+        FaultProfile(
+            name="slow-reader",
+            description=(
+                "every serve request stalls while holding its admission "
+                "slot; exercises queue-depth shedding and deadlines"
+            ),
+            serve_slow_read=1.0,
+        ),
+        FaultProfile(
+            name="corrupt-snapshot",
+            description=(
+                "every snapshot file read is truncated and bit-flipped; "
+                "the integrity layer must reject it before swap"
+            ),
+            serve_corrupt_snapshot=1.0,
+        ),
+        FaultProfile(
+            name="thundering-herd",
+            description=(
+                "load generators aim 8 simultaneous clients at every "
+                "admission slot, and each request stalls briefly while "
+                "holding it — a herd is only dangerous when requests "
+                "take non-trivial time"
+            ),
+            herd_multiplier=8,
+            serve_slow_read=1.0,
+            slow_read_seconds=0.005,
         ),
         FaultProfile(
             name="storm",
@@ -251,6 +293,28 @@ class FaultInjector:
     def stats(self) -> Dict[str, int]:
         """Injected-fault tallies, for diagnostics and manifests."""
         return dict(sorted(self.injected.items()))
+
+
+def corrupt_snapshot_text(text: str, seed: int = 2020) -> str:
+    """Deterministically corrupt snapshot *text* (truncate + bit-flip).
+
+    Models the two ways snapshot files really go bad — a partial write
+    (truncation mid-record) and silent byte corruption — as a pure
+    function of ``(text, seed)`` so chaos runs replay exactly.  The
+    result is guaranteed to differ from the input.
+    """
+    if not text:
+        return "\x00"
+    cut = max(1, int(len(text) * SNAPSHOT_KEEP_FRACTION))
+    truncated = text[:cut]
+    flip_at = int(stable_unit(seed, "snapshot", "flip", str(len(text)), 0)
+                  * len(truncated))
+    flip_at = min(flip_at, len(truncated) - 1)
+    flipped = chr((ord(truncated[flip_at]) ^ 0x1) or 0x1)
+    corrupted = truncated[:flip_at] + flipped + truncated[flip_at + 1:]
+    if corrupted == text:
+        corrupted += "\x00"
+    return corrupted
 
 
 class FaultyChatBackend:

@@ -15,18 +15,32 @@ them, the way downstream tools consume CAIDA's AS2Org:
 * :mod:`repro.serve.httpd` — :class:`QueryServer`: a stdlib threading
   HTTP JSON API (``/v1/asn``, ``/v1/org``, ``/v1/siblings``,
   ``/v1/search``, ``/healthz``, ``/metrics``);
-* :mod:`repro.serve.loadgen` — seeded Zipfian traffic for benchmarks.
+* :mod:`repro.serve.admission` — :class:`AdmissionController`: bounded
+  concurrency with a finite wait queue and per-endpoint deadlines, so
+  saturated load sheds fast (HTTP 429/503) instead of piling up;
+* :mod:`repro.serve.loadgen` — seeded Zipfian traffic for benchmarks,
+  including a multi-threaded overload mode with response-class
+  accounting.
 
 ``borges serve`` and ``borges query`` are the CLI entry points.
 """
 
+from .admission import AdmissionController, AdmissionLimits
 from .index import AsnRecord, MappingIndex, OrgRecord, org_handle, tokenize
-from .loadgen import LoadGenerator, LoadReport, ZipfianSampler
+from .loadgen import (
+    RESPONSE_CLASSES,
+    LoadGenerator,
+    LoadReport,
+    ZipfianSampler,
+    percentile,
+)
 from .service import ENDPOINTS, QueryService
 from .store import Snapshot, SnapshotStore
-from .httpd import QueryServer
+from .httpd import MAX_BATCH_ASNS, MAX_CONTENT_LENGTH, QueryServer
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
     "AsnRecord",
     "MappingIndex",
     "OrgRecord",
@@ -34,10 +48,14 @@ __all__ = [
     "tokenize",
     "LoadGenerator",
     "LoadReport",
+    "RESPONSE_CLASSES",
     "ZipfianSampler",
+    "percentile",
     "ENDPOINTS",
     "QueryService",
     "Snapshot",
     "SnapshotStore",
+    "MAX_BATCH_ASNS",
+    "MAX_CONTENT_LENGTH",
     "QueryServer",
 ]

@@ -2,36 +2,68 @@
 
 A :class:`ThreadingHTTPServer` exposing the read API as JSON:
 
-====================  =====================================================
+==========================  ===================================================
 ``GET /v1/asn/{asn}``        one ASN's organization (404 unknown ASN)
 ``GET /v1/org/{id}``         one organization's members (404 unknown id)
 ``GET /v1/siblings``         ``?a=&b=`` verdict, or ``?asn=`` sibling list
 ``GET /v1/search``           ``?q=&limit=`` org-name search
 ``POST /v1/batch``           ``{"asns": [...]}`` batched lookup
+``POST /v1/admin/rollback``  restore the last-known-good generation
 ``GET /healthz``             200 ok/degraded, 503 before the first snapshot
 ``GET /metrics``             Prometheus text exposition
-====================  =====================================================
+==========================  ===================================================
 
 Binding ``port=0`` picks an ephemeral port (the bound port is exposed as
 ``server.port``), which is how the tests and the CI smoke job run many
 servers without colliding.  ``stop()`` is a graceful shutdown: the accept
 loop exits, in-flight handlers finish, the socket closes.
+
+Overload answers ride on the service's admission gate: a shed request
+gets ``429`` with a ``Retry-After`` header, a request whose deadline
+expired while queued gets ``503``.  Request bodies are bounded —
+``Content-Length`` past :data:`MAX_CONTENT_LENGTH` or a batch past
+:data:`MAX_BATCH_ASNS` answers ``413`` without reading the payload, and
+malformed/missing framing headers answer ``400`` instead of stalling the
+handler thread on a read that can never complete.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import NoSnapshotError, UnknownASNError, UnknownOrgError
+from ..errors import (
+    DeadlineExceededError,
+    NoSnapshotError,
+    OverloadedError,
+    RollbackUnavailableError,
+    UnknownASNError,
+    UnknownOrgError,
+)
 from ..logutil import get_logger
 from ..obs import render_prometheus
 from .service import QueryService
 
 _LOG = get_logger("serve.httpd")
+
+#: Largest request body accepted by ``POST /v1/batch`` (bytes).
+MAX_CONTENT_LENGTH = 1 << 20
+
+#: Most ASNs accepted in one batch lookup.
+MAX_BATCH_ASNS = 1024
+
+
+class _BadParam(ValueError):
+    """A malformed query parameter, carrying the offending field name."""
+
+    def __init__(self, name: str, raw: str) -> None:
+        super().__init__(f"parameter {name!r} must be an integer, got {raw!r}")
+        self.name = name
+        self.raw = raw
 
 
 def _make_handler(service: QueryService):
@@ -46,11 +78,18 @@ def _make_handler(service: QueryService):
         def log_message(self, format: str, *args: object) -> None:
             _LOG.debug("%s %s", self.address_string(), format % args)
 
-        def _send_json(self, code: int, payload: dict) -> None:
+        def _send_json(
+            self,
+            code: int,
+            payload: dict,
+            extra_headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
             registry.counter(
@@ -62,6 +101,20 @@ def _make_handler(service: QueryService):
         def _send_error(self, code: int, message: str) -> None:
             self._send_json(code, {"error": message})
 
+        def _send_overloaded(self, exc: OverloadedError) -> None:
+            # Retry-After is integer seconds on the wire; the JSON body
+            # keeps the precise hint for clients that can use it.
+            self._send_json(
+                429,
+                {
+                    "error": "overloaded, retry later",
+                    "retry_after": round(exc.retry_after, 3),
+                },
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
+            )
+
         def _query(self) -> Tuple[str, dict]:
             parsed = urlparse(self.path)
             return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
@@ -70,7 +123,10 @@ def _make_handler(service: QueryService):
             values = params.get(name)
             if not values:
                 return None
-            return int(values[0])
+            try:
+                return int(values[0])
+            except (ValueError, TypeError):
+                raise _BadParam(name, values[0]) from None
 
         # -- routes ----------------------------------------------------
 
@@ -91,6 +147,13 @@ def _make_handler(service: QueryService):
                     self._handle_metrics()
                 else:
                     self._send_error(404, f"no route {path}")
+            except _BadParam as exc:
+                # Malformed input is the client's 400, never our 500.
+                self._send_error(400, str(exc))
+            except OverloadedError as exc:
+                self._send_overloaded(exc)
+            except DeadlineExceededError as exc:
+                self._send_error(503, str(exc))
             except NoSnapshotError:
                 self._send_error(503, "no mapping snapshot loaded")
             except Exception as exc:  # noqa: BLE001 — a handler crash
@@ -100,24 +163,95 @@ def _make_handler(service: QueryService):
 
         def do_POST(self) -> None:  # noqa: N802
             path, _ = self._query()
-            if path != "/v1/batch":
-                self._send_error(404, f"no route {path}")
-                return
             try:
-                length = int(self.headers.get("Content-Length", 0))
-                document = json.loads(self.rfile.read(length) or b"{}")
-                asns = document.get("asns")
-                if not isinstance(asns, list):
-                    self._send_error(400, "body must be {'asns': [...]}")
-                    return
-                results = service.batch_lookup(int(a) for a in asns)
-                self._send_json(200, {"results": results})
+                if path == "/v1/batch":
+                    self._handle_batch()
+                elif path == "/v1/admin/rollback":
+                    self._handle_rollback()
+                else:
+                    self._send_error(404, f"no route {path}")
+            except OverloadedError as exc:
+                self._send_overloaded(exc)
+            except DeadlineExceededError as exc:
+                self._send_error(503, str(exc))
             except NoSnapshotError:
                 self._send_error(503, "no mapping snapshot loaded")
-            except (ValueError, TypeError) as exc:
-                self._send_error(400, f"bad batch request: {exc}")
+            except Exception as exc:  # noqa: BLE001
+                _LOG.exception("handler error on %s", self.path)
+                self._send_error(500, f"internal error: {exc}")
 
         # -- endpoint bodies -------------------------------------------
+
+        def _read_body(self) -> Optional[bytes]:
+            """The request body, or ``None`` after answering 400/413.
+
+            ``Content-Length`` is validated *before* any read: a missing,
+            non-integer or negative value previously reached
+            ``rfile.read`` — where ``-1`` means read-to-EOF and stalls
+            the handler thread on a keep-alive connection until the
+            client goes away.  Oversized bodies are refused without
+            reading; the connection is closed since the unread payload
+            would desync the next keep-alive request.
+            """
+            raw = self.headers.get("Content-Length")
+            if raw is None:
+                self.close_connection = True
+                self._send_error(400, "missing Content-Length header")
+                return None
+            try:
+                length = int(raw)
+            except ValueError:
+                self.close_connection = True
+                self._send_error(
+                    400, f"Content-Length must be an integer, got {raw!r}"
+                )
+                return None
+            if length < 0:
+                self.close_connection = True
+                self._send_error(400, f"negative Content-Length: {length}")
+                return None
+            if length > MAX_CONTENT_LENGTH:
+                self.close_connection = True
+                self._send_error(
+                    413,
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_CONTENT_LENGTH}-byte limit",
+                )
+                return None
+            return self.rfile.read(length)
+
+        def _handle_batch(self) -> None:
+            body = self._read_body()
+            if body is None:
+                return
+            try:
+                document = json.loads(body or b"{}")
+            except ValueError as exc:
+                self._send_error(400, f"request body is not JSON: {exc}")
+                return
+            asns = document.get("asns") if isinstance(document, dict) else None
+            if not isinstance(asns, list):
+                self._send_error(400, "body must be {'asns': [...]}")
+                return
+            if len(asns) > MAX_BATCH_ASNS:
+                self._send_error(
+                    413,
+                    f"batch of {len(asns)} ASNs exceeds the "
+                    f"{MAX_BATCH_ASNS}-ASN limit",
+                )
+                return
+            try:
+                results = service.batch_lookup(int(a) for a in asns)
+            except (ValueError, TypeError) as exc:
+                self._send_error(400, f"bad batch request: {exc}")
+                return
+            self._send_json(200, {"results": results})
+
+        def _handle_rollback(self) -> None:
+            try:
+                self._send_json(200, service.rollback())
+            except RollbackUnavailableError as exc:
+                self._send_error(409, str(exc))
 
         def _handle_asn(self, raw: str) -> None:
             try:
@@ -140,13 +274,9 @@ def _make_handler(service: QueryService):
                 self._send_error(404, f"unknown organization {org_id!r}")
 
         def _handle_siblings(self, params: dict) -> None:
-            try:
-                a = self._int_param(params, "a")
-                b = self._int_param(params, "b")
-                asn = self._int_param(params, "asn")
-            except ValueError as exc:
-                self._send_error(400, f"bad ASN parameter: {exc}")
-                return
+            a = self._int_param(params, "a")
+            b = self._int_param(params, "b")
+            asn = self._int_param(params, "asn")
             try:
                 if asn is not None:
                     self._send_json(200, service.siblings(asn))
@@ -162,12 +292,10 @@ def _make_handler(service: QueryService):
             if not query.strip():
                 self._send_error(400, "missing ?q=")
                 return
-            try:
-                limit = self._int_param(params, "limit") or 10
-            except ValueError:
-                self._send_error(400, "bad ?limit=")
-                return
-            self._send_json(200, service.search(query, limit=limit))
+            limit = self._int_param(params, "limit")
+            self._send_json(
+                200, service.search(query, limit=10 if limit is None else limit)
+            )
 
         def _handle_health(self) -> None:
             ready, body = service.health()

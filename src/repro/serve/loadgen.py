@@ -5,19 +5,42 @@ tier-1 ASNs absorb most queries — so the generator draws ASNs from a
 Zipf(s) distribution over a shuffled rank order.  Everything is seeded:
 the same ``(seed, universe)`` pair replays the identical request stream,
 which is what lets the throughput benchmark compare runs.
+
+Two driving modes:
+
+* :meth:`LoadGenerator.run` — the original single-threaded replay, used
+  by the throughput benchmark and ``borges loadgen``.
+* :meth:`LoadGenerator.run_overload` — many worker threads hammering the
+  service at once (optionally synchronized into thundering-herd waves)
+  to exercise the admission gate.  The report classifies every response
+  (``2xx`` / ``429`` / ``4xx`` / ``5xx`` / ``deadline``) and records
+  latency percentiles for *admitted* requests only, which is the number
+  the overload benchmark holds to its p99 bound.
 """
 
 from __future__ import annotations
 
 import bisect
 import random
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from ..errors import ConfigError, UnknownASNError
+from ..errors import (
+    ConfigError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    UnknownASNError,
+)
 from ..types import ASN
 from .service import QueryService
+
+#: Response classes tracked by :class:`LoadReport`.  ``deadline`` is kept
+#: distinct from ``5xx``: a deadline rejection is the gate working as
+#: designed, a ``5xx`` is the service failing.
+RESPONSE_CLASSES = ("2xx", "429", "4xx", "5xx", "deadline")
 
 
 class ZipfianSampler:
@@ -51,6 +74,15 @@ class ZipfianSampler:
             yield self.sample()
 
 
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *samples* by nearest-rank; 0.0 if empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
 @dataclass
 class LoadReport:
     """What one load run did and how fast the service answered."""
@@ -60,13 +92,27 @@ class LoadReport:
     not_found: int
     elapsed_seconds: float
     mix: Dict[str, int] = field(default_factory=dict)
+    #: Response-class counts (``2xx``/``429``/``4xx``/``5xx``/``deadline``).
+    #: Empty for legacy single-threaded runs that predate classification.
+    classes: Dict[str, int] = field(default_factory=dict)
+    #: Latency percentiles over *admitted* (2xx/4xx) requests, seconds.
+    admitted_p50: float = 0.0
+    admitted_p99: float = 0.0
 
     @property
     def qps(self) -> float:
         return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
+    @property
+    def shed(self) -> int:
+        return self.classes.get("429", 0)
+
+    @property
+    def server_errors(self) -> int:
+        return self.classes.get("5xx", 0)
+
     def to_json(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "requests": self.requests,
             "ok": self.ok,
             "not_found": self.not_found,
@@ -74,6 +120,11 @@ class LoadReport:
             "qps": round(self.qps, 1),
             "mix": dict(self.mix),
         }
+        if self.classes:
+            out["classes"] = dict(self.classes)
+            out["admitted_p50_ms"] = round(self.admitted_p50 * 1e3, 3)
+            out["admitted_p99_ms"] = round(self.admitted_p99 * 1e3, 3)
+        return out
 
 
 class LoadGenerator:
@@ -87,6 +138,9 @@ class LoadGenerator:
         zipf_s: float = 1.1,
     ) -> None:
         self.service = service
+        self.asns = list(asns)
+        self.seed = seed
+        self.zipf_s = zipf_s
         self.sampler = ZipfianSampler(asns, s=zipf_s, seed=seed)
         self._rng = random.Random(seed ^ 0x5F5E100)
 
@@ -133,4 +187,119 @@ class LoadGenerator:
             not_found=not_found,
             elapsed_seconds=elapsed,
             mix=mix,
+        )
+
+    # -- overload mode -----------------------------------------------------
+
+    def run_overload(
+        self,
+        requests: int,
+        workers: int = 16,
+        herd_size: int = 0,
+        unknown_fraction: float = 0.0,
+        backoff_seconds: float = 0.005,
+    ) -> LoadReport:
+        """Hammer the service from *workers* threads at once.
+
+        Requests are split evenly across workers, each with its own
+        seeded sampler (derived from this generator's seed and the
+        worker index, so the aggregate stream is reproducible regardless
+        of thread interleaving).  With ``herd_size > 0`` the workers
+        synchronize on a barrier every ``herd_size`` requests —
+        thundering-herd waves that spike instantaneous concurrency far
+        above the average rate.
+
+        Every response is classified: success and not-found are ``2xx``
+        and ``4xx``; :class:`~repro.errors.OverloadedError` is ``429``;
+        :class:`~repro.errors.DeadlineExceededError` is ``deadline``;
+        anything else the service raises counts as ``5xx``.  Latency
+        percentiles cover admitted requests only — rejected requests are
+        fast by design and would flatter the tail.
+
+        A rejected worker sleeps ``backoff_seconds`` (with seeded jitter)
+        before its next request, as a well-behaved client honouring
+        ``Retry-After`` would.  Without it the shed workers spin on the
+        gate and — under the GIL — starve the very requests that *were*
+        admitted, so the measured tail reflects scheduler convoying
+        rather than queueing.
+        """
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1: {workers}")
+        per_worker = max(1, requests // workers)
+        barrier = (
+            threading.Barrier(workers) if herd_size > 0 and workers > 1 else None
+        )
+        lock = threading.Lock()
+        classes = {cls: 0 for cls in RESPONSE_CLASSES}
+        latencies: List[float] = []
+        ok_total = 0
+        not_found_total = 0
+
+        def worker(index: int) -> None:
+            nonlocal ok_total, not_found_total
+            sampler = ZipfianSampler(
+                self.asns, s=self.zipf_s, seed=self.seed + 7919 * (index + 1)
+            )
+            rng = random.Random(self.seed ^ (index << 8))
+            local_classes = {cls: 0 for cls in RESPONSE_CLASSES}
+            local_latencies: List[float] = []
+            ok = 0
+            not_found = 0
+            for i in range(per_worker):
+                if barrier is not None and i % herd_size == 0:
+                    try:
+                        barrier.wait(timeout=10.0)
+                    except threading.BrokenBarrierError:
+                        pass  # a worker finished early; keep going solo
+                asn = -1 if rng.random() < unknown_fraction else sampler.sample()
+                t0 = time.perf_counter()
+                try:
+                    self.service.lookup_asn(asn)
+                    local_latencies.append(time.perf_counter() - t0)
+                    local_classes["2xx"] += 1
+                    ok += 1
+                except UnknownASNError:
+                    local_latencies.append(time.perf_counter() - t0)
+                    local_classes["4xx"] += 1
+                    not_found += 1
+                except OverloadedError:
+                    local_classes["429"] += 1
+                    if backoff_seconds > 0:
+                        time.sleep(backoff_seconds * (0.5 + rng.random()))
+                except DeadlineExceededError:
+                    local_classes["deadline"] += 1
+                    if backoff_seconds > 0:
+                        time.sleep(backoff_seconds * (0.5 + rng.random()))
+                except (ReproError, RuntimeError):
+                    # NoSnapshotError or anything unexpected: the client
+                    # saw a server failure either way.
+                    local_classes["5xx"] += 1
+            with lock:
+                for cls, count in local_classes.items():
+                    classes[cls] += count
+                latencies.extend(local_latencies)
+                ok_total += ok
+                not_found_total += not_found
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+            for i in range(workers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        issued = per_worker * workers
+        return LoadReport(
+            requests=issued,
+            ok=ok_total,
+            not_found=not_found_total,
+            elapsed_seconds=elapsed,
+            mix={"asn": issued},
+            classes=classes,
+            admitted_p50=percentile(latencies, 0.50),
+            admitted_p99=percentile(latencies, 0.99),
         )

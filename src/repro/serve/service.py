@@ -1,4 +1,4 @@
-"""The query service: cached, metered lookups over the active snapshot.
+"""The query service: cached, metered, admission-gated lookups.
 
 :class:`QueryService` is the in-process read API the HTTP layer, the CLI
 (``borges query``) and the load generator all share.  Per-endpoint
@@ -7,21 +7,47 @@ children are resolved once at construction so the per-request cost is a
 dict hit, not a registry lock.  Responses are cached in a small LRU keyed
 by ``(generation, endpoint, args)`` — a hot-swap changes the generation
 and thereby invalidates the whole cache without any explicit flush.
+
+When an :class:`~repro.serve.admission.AdmissionController` is attached,
+every endpoint passes through it before touching the snapshot: saturated
+load is shed with :class:`~repro.errors.OverloadedError` (HTTP 429) and
+queue waits past the endpoint's deadline raise
+:class:`~repro.errors.DeadlineExceededError` (HTTP 503).  Without one
+(the default — CLI one-shots, benchmarks), the gate costs a single
+``None`` check.  An optional
+:class:`~repro.resilience.faults.FaultInjector` adds seeded serve-side
+chaos: ``slow_read`` faults stall a request *while it holds its
+admission slot*, which is exactly how slow clients starve real servers.
 """
 
 from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+from contextlib import nullcontext
+from typing import ContextManager, Dict, Iterable, List, Optional, Tuple
 
-from ..errors import NoSnapshotError, UnknownASNError, UnknownOrgError
+from ..errors import (
+    DeadlineExceededError,
+    NoSnapshotError,
+    OverloadedError,
+    UnknownASNError,
+    UnknownOrgError,
+)
 from ..obs import DEFAULT_LOOKUP_BUCKETS, get_registry
 from ..types import ASN
+from .admission import AdmissionController
 from .store import SnapshotStore
 
 #: The endpoints the service meters; the HTTP layer maps routes onto them.
 ENDPOINTS = ("asn", "org", "siblings", "search", "batch")
+
+#: Per-endpoint request statuses tracked in ``serve_requests_total``.
+STATUSES = ("ok", "not_found", "unavailable", "shed", "deadline")
+
+#: Shared no-op gate for services without an admission controller — one
+#: allocation for the process, not one per request.
+_NULL_GATE: ContextManager[None] = nullcontext()
 
 
 class _ResponseLRU:
@@ -65,9 +91,15 @@ class QueryService:
         store: Optional[SnapshotStore] = None,
         registry=None,
         cache_size: int = 8192,
+        admission: Optional[AdmissionController] = None,
+        injector=None,
     ) -> None:
         self.registry = registry or get_registry()
-        self.store = store or SnapshotStore(registry=self.registry)
+        self.admission = admission
+        self._injector = injector
+        self.store = store or SnapshotStore(
+            registry=self.registry, injector=injector
+        )
         self._cache = _ResponseLRU(cache_size)
         # Pre-resolved metric children: one registry round-trip at init
         # instead of one (lock + label sort) per request.
@@ -88,7 +120,7 @@ class QueryService:
                 status=status,
             )
             for endpoint in ENDPOINTS
-            for status in ("ok", "not_found", "unavailable")
+            for status in STATUSES
         }
         self._cache_hits = self.registry.counter(
             "serve_cache_hits_total", "Response cache hits"
@@ -111,31 +143,65 @@ class QueryService:
             response["stale"] = True
         return response
 
+    def _admit(self, endpoint: str) -> ContextManager:
+        """Pass the admission gate (and any injected stall) for *endpoint*.
+
+        Returns the slot ticket to hold for the request's duration.
+        Rejections are counted against the endpoint before re-raising so
+        shed-vs-error behaviour is visible per route, not only in the
+        gate-level totals.
+        """
+        if self.admission is None:
+            if self._injector is not None:
+                self._maybe_stall(endpoint)
+            return _NULL_GATE
+        try:
+            ticket = self.admission.admit(endpoint)
+        except OverloadedError:
+            self._requests[(endpoint, "shed")].inc()
+            raise
+        except DeadlineExceededError:
+            self._requests[(endpoint, "deadline")].inc()
+            raise
+        if self._injector is not None:
+            # Stall while holding the slot — a slow reader occupies real
+            # capacity, which is what makes the fault worth injecting.
+            self._maybe_stall(endpoint)
+        return ticket
+
+    def _maybe_stall(self, endpoint: str) -> None:
+        from ..resilience.faults import SERVE_SURFACE
+
+        kind = self._injector.next_fault(SERVE_SURFACE, endpoint)
+        if kind == "slow_read":
+            time.sleep(self._injector.profile.slow_read_seconds)
+
     # -- endpoints ---------------------------------------------------------
 
     def lookup_asn(self, asn: ASN) -> dict:
         """Resolve one ASN to its organization (the hot path)."""
         started = time.perf_counter()
-        try:
-            snapshot = self.store.current()
-            key = (snapshot.generation, "asn", asn)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache_hits.inc()
-                self._finish("asn", "ok", started)
-                return cached
+        with self._admit("asn"):
             try:
-                record = snapshot.index.lookup_asn(asn)
-            except UnknownASNError:
-                self._finish("asn", "not_found", started)
+                snapshot = self.store.current()
+                key = (snapshot.generation, "asn", asn)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache_hits.inc()
+                    self._finish("asn", "ok", started)
+                    return cached
+                try:
+                    record = snapshot.index.lookup_asn(asn)
+                except UnknownASNError:
+                    self._finish("asn", "not_found", started)
+                    raise
+                response = self._annotate(record.to_json(), snapshot.generation)
+                self._cache.put(key, response)
+                self._finish("asn", "ok", started)
+                return response
+            except NoSnapshotError:
+                self._finish("asn", "unavailable", started)
                 raise
-            response = self._annotate(record.to_json(), snapshot.generation)
-            self._cache.put(key, response)
-            self._finish("asn", "ok", started)
-            return response
-        except NoSnapshotError:
-            self._finish("asn", "unavailable", started)
-            raise
 
     def batch_lookup(self, asns: Iterable[ASN]) -> List[dict]:
         """Resolve many ASNs against one pinned generation.
@@ -144,111 +210,134 @@ class QueryService:
         instead of failing the whole batch.
         """
         started = time.perf_counter()
-        try:
-            with self.store.acquire() as snapshot:
-                out: List[dict] = []
-                for asn in asns:
-                    key = (snapshot.generation, "asn", asn)
-                    cached = self._cache.get(key)
-                    if cached is not None:
-                        self._cache_hits.inc()
-                        out.append(cached)
-                        continue
-                    try:
-                        record = snapshot.index.lookup_asn(asn)
-                    except UnknownASNError:
-                        out.append({"asn": asn, "error": "unknown_asn"})
-                        continue
-                    response = self._annotate(
-                        record.to_json(), snapshot.generation
-                    )
-                    self._cache.put(key, response)
-                    out.append(response)
-        except NoSnapshotError:
-            self._finish("batch", "unavailable", started)
-            raise
-        self._batch_sizes.observe(float(len(out)))
-        self._finish("batch", "ok", started)
-        return out
+        with self._admit("batch"):
+            try:
+                with self.store.acquire() as snapshot:
+                    out: List[dict] = []
+                    for asn in asns:
+                        key = (snapshot.generation, "asn", asn)
+                        cached = self._cache.get(key)
+                        if cached is not None:
+                            self._cache_hits.inc()
+                            out.append(cached)
+                            continue
+                        try:
+                            record = snapshot.index.lookup_asn(asn)
+                        except UnknownASNError:
+                            out.append({"asn": asn, "error": "unknown_asn"})
+                            continue
+                        response = self._annotate(
+                            record.to_json(), snapshot.generation
+                        )
+                        self._cache.put(key, response)
+                        out.append(response)
+            except NoSnapshotError:
+                self._finish("batch", "unavailable", started)
+                raise
+            self._batch_sizes.observe(float(len(out)))
+            self._finish("batch", "ok", started)
+            return out
 
     def lookup_org(self, org_id: str) -> dict:
         started = time.perf_counter()
-        try:
-            snapshot = self.store.current()
-            key = (snapshot.generation, "org", org_id)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache_hits.inc()
-                self._finish("org", "ok", started)
-                return cached
+        with self._admit("org"):
             try:
-                record = snapshot.index.org(org_id)
-            except UnknownOrgError:
-                self._finish("org", "not_found", started)
+                snapshot = self.store.current()
+                key = (snapshot.generation, "org", org_id)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache_hits.inc()
+                    self._finish("org", "ok", started)
+                    return cached
+                try:
+                    record = snapshot.index.org(org_id)
+                except UnknownOrgError:
+                    self._finish("org", "not_found", started)
+                    raise
+                response = self._annotate(record.to_json(), snapshot.generation)
+                self._cache.put(key, response)
+                self._finish("org", "ok", started)
+                return response
+            except NoSnapshotError:
+                self._finish("org", "unavailable", started)
                 raise
-            response = self._annotate(record.to_json(), snapshot.generation)
-            self._cache.put(key, response)
-            self._finish("org", "ok", started)
-            return response
-        except NoSnapshotError:
-            self._finish("org", "unavailable", started)
-            raise
 
     def siblings(self, a: ASN, b: Optional[ASN] = None) -> dict:
         """With *b*: are the two ASNs siblings?  Without: list *a*'s org."""
         started = time.perf_counter()
-        try:
-            snapshot = self.store.current()
-            index = snapshot.index
-            if b is None:
-                try:
-                    record = index.lookup_asn(a)
-                except UnknownASNError:
-                    self._finish("siblings", "not_found", started)
-                    raise
-                response = self._annotate(
-                    {
-                        "asn": a,
-                        "org_id": record.org.org_id,
-                        "siblings": [m for m in record.org.members if m != a],
-                    },
-                    snapshot.generation,
-                )
-            else:
-                response = self._annotate(
-                    {"a": a, "b": b, "siblings": index.are_siblings(a, b)},
-                    snapshot.generation,
-                )
-            self._finish("siblings", "ok", started)
-            return response
-        except NoSnapshotError:
-            self._finish("siblings", "unavailable", started)
-            raise
+        with self._admit("siblings"):
+            try:
+                snapshot = self.store.current()
+                index = snapshot.index
+                if b is None:
+                    try:
+                        record = index.lookup_asn(a)
+                    except UnknownASNError:
+                        self._finish("siblings", "not_found", started)
+                        raise
+                    response = self._annotate(
+                        {
+                            "asn": a,
+                            "org_id": record.org.org_id,
+                            "siblings": [
+                                m for m in record.org.members if m != a
+                            ],
+                        },
+                        snapshot.generation,
+                    )
+                else:
+                    response = self._annotate(
+                        {"a": a, "b": b, "siblings": index.are_siblings(a, b)},
+                        snapshot.generation,
+                    )
+                self._finish("siblings", "ok", started)
+                return response
+            except NoSnapshotError:
+                self._finish("siblings", "unavailable", started)
+                raise
 
     def search(self, query: str, limit: int = 10) -> dict:
         started = time.perf_counter()
-        try:
-            snapshot = self.store.current()
-            key = (snapshot.generation, "search", query, limit)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache_hits.inc()
+        with self._admit("search"):
+            try:
+                snapshot = self.store.current()
+                key = (snapshot.generation, "search", query, limit)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache_hits.inc()
+                    self._finish("search", "ok", started)
+                    return cached
+                records = snapshot.index.search(query, limit=limit)
+                response = self._annotate(
+                    {
+                        "query": query,
+                        "results": [r.to_json() for r in records],
+                    },
+                    snapshot.generation,
+                )
+                self._cache.put(key, response)
                 self._finish("search", "ok", started)
-                return cached
-            records = snapshot.index.search(query, limit=limit)
-            response = self._annotate(
-                {
-                    "query": query,
-                    "results": [r.to_json() for r in records],
-                },
-                snapshot.generation,
-            )
-            self._cache.put(key, response)
-            self._finish("search", "ok", started)
-            return response
-        except NoSnapshotError:
-            self._finish("search", "unavailable", started)
-            raise
+                return response
+            except NoSnapshotError:
+                self._finish("search", "unavailable", started)
+                raise
+
+    # -- admin -------------------------------------------------------------
+
+    def rollback(self) -> dict:
+        """Restore the last-known-good generation (admin surface).
+
+        Raises :class:`~repro.errors.RollbackUnavailableError` when the
+        history is empty; rollbacks are never admission-gated — shedding
+        the repair action during an overload would be self-defeating.
+        """
+        snapshot = self.store.rollback()
+        return {
+            "generation": snapshot.generation,
+            "restored": snapshot.label,
+            "orgs": len(snapshot.index),
+            "asns": snapshot.index.asn_count,
+        }
 
     # -- health / accounting ----------------------------------------------
 
@@ -258,20 +347,27 @@ class QueryService:
         if snapshot is None:
             return False, {"status": "unavailable"}
         status = "degraded" if self.store.stale else "ok"
-        return True, {
+        body: Dict[str, object] = {
             "status": status,
             "generation": snapshot.generation,
             "orgs": len(snapshot.index),
             "asns": snapshot.index.asn_count,
+            "rollback_generations": len(self.store.history()),
         }
+        if self.admission is not None:
+            body["admission"] = self.admission.occupancy()
+        return True, body
 
     def stats(self) -> Dict[str, object]:
         totals: Dict[str, float] = {}
         for (endpoint, status), counter in self._requests.items():
             if counter.value:
                 totals[f"{endpoint}.{status}"] = counter.value
-        return {
+        out: Dict[str, object] = {
             "snapshot": self.store.stats(),
             "requests": totals,
             "response_cache": self._cache.stats(),
         }
+        if self.admission is not None:
+            out["admission"] = self.admission.occupancy()
+        return out

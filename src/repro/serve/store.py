@@ -13,10 +13,23 @@ Generations can come from four sources: an in-memory pipeline result, an
 ``OrgMapping`` JSON file, a CAIDA-format release file (the round-trip
 ``borges release`` → ``borges serve``), or a merge-stage artifact in the
 content-addressed :class:`~repro.core.artifacts.ArtifactStore`.
+
+**Integrity before swap.**  Every source is verified before it can
+become the active generation: release files check the digest header
+``borges release`` writes, mapping files check their embedded digest and
+schema, artifacts recompute their content digest, and in-memory mappings
+pass basic sanity checks.  A failed check raises a structured
+:class:`~repro.errors.SnapshotIntegrityError`; corrupt *files* are
+additionally quarantined (renamed aside) so a crash-looping supervisor
+cannot keep re-feeding the same bad bytes.  The store also keeps a
+bounded history of last-known-good generations, so an operator can
+:meth:`rollback` past a bad-but-well-formed release (``borges serve
+--rollback`` / ``POST /v1/admin/rollback``).
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from dataclasses import dataclass, field
@@ -24,13 +37,26 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from ..core.artifacts import ArtifactStore
-from ..core.mapping import OrgMapping
-from ..errors import DataError, NoSnapshotError, ReproError
+from ..core.mapping import OrgMapping, verify_mapping_payload
+from ..digest import stable_digest
+from ..errors import (
+    DataError,
+    NoSnapshotError,
+    ReproError,
+    RollbackUnavailableError,
+    SnapshotIntegrityError,
+)
 from ..logutil import get_logger
 from ..obs import get_registry
 from .index import MappingIndex
 
 _LOG = get_logger("serve.store")
+
+#: Suffix appended to a corrupt input file when it is quarantined.
+QUARANTINE_SUFFIX = ".quarantined"
+
+#: Last-known-good generations retained for :meth:`SnapshotStore.rollback`.
+DEFAULT_HISTORY_LIMIT = 3
 
 
 @dataclass
@@ -61,16 +87,32 @@ class SnapshotStore:
     Readers call :meth:`current` (one attribute read — atomic under the
     GIL) or take a lease with :meth:`acquire` when they need the same
     generation across several lookups.  Writers call one of the
-    ``load_from_*`` methods; each builds the index *outside* the lock and
-    installs it with :meth:`swap`.
+    ``load_from_*`` methods; each verifies its input, builds the index
+    *outside* the lock and installs it with :meth:`swap`.
+
+    *quarantine* controls whether corrupt input files are renamed aside
+    (default on); *history_limit* bounds the rollback stack; *injector*
+    optionally threads a :class:`~repro.resilience.faults.FaultInjector`
+    through the file loaders so chaos runs can corrupt snapshots
+    deterministically.
     """
 
-    def __init__(self, registry=None) -> None:
+    def __init__(
+        self,
+        registry=None,
+        quarantine: bool = True,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+        injector=None,
+    ) -> None:
         self._registry = registry or get_registry()
         self._lock = threading.Lock()
         self._active: Optional[Snapshot] = None
         self._retiring: List[Snapshot] = []
+        self._history: List[Snapshot] = []
+        self._history_limit = max(0, history_limit)
         self._next_generation = 1
+        self._quarantine = quarantine
+        self._injector = injector
         #: True when the last swap attempt failed and an older generation
         #: is still being served (the degraded/stale read path).
         self.stale = False
@@ -105,6 +147,15 @@ class SnapshotStore:
 
     def swap(self, index: MappingIndex, source: str, label: str) -> Snapshot:
         """Install *index* as the active generation; returns the snapshot."""
+        return self._install(index, source, label, remember_previous=True)
+
+    def _install(
+        self,
+        index: MappingIndex,
+        source: str,
+        label: str,
+        remember_previous: bool,
+    ) -> Snapshot:
         with self._lock:
             snapshot = Snapshot(
                 index=index,
@@ -120,6 +171,9 @@ class SnapshotStore:
                     previous._drained.set()
                 else:
                     self._retiring.append(previous)
+                if remember_previous and self._history_limit:
+                    self._history.append(previous)
+                    del self._history[: -self._history_limit]
             self.stale = False
         self._registry.counter(
             "serve_snapshot_swaps_total", "Snapshot generations installed"
@@ -127,9 +181,45 @@ class SnapshotStore:
         self._registry.gauge(
             "serve_snapshot_generation", "Active snapshot generation"
         ).set(snapshot.generation)
+        self._registry.gauge(
+            "serve_snapshot_history_depth",
+            "Last-known-good generations available for rollback",
+        ).set(len(self._history))
         _LOG.info(
             "snapshot generation %d installed from %s (%s)",
             snapshot.generation, source, label,
+        )
+        return snapshot
+
+    def rollback(self) -> Snapshot:
+        """Reinstall the most recent last-known-good generation.
+
+        The restored index gets a *new* generation number (readers always
+        see generations move forward); the generation being replaced is
+        deliberately **not** pushed back onto the history stack, so
+        repeated rollbacks walk further into the past instead of
+        ping-ponging between two generations.
+        """
+        with self._lock:
+            if not self._history:
+                raise RollbackUnavailableError()
+            restored = self._history.pop()
+        snapshot = self._install(
+            restored.index,
+            source="rollback",
+            label=(
+                f"generation {restored.generation} "
+                f"({restored.source}: {restored.label})"
+            ),
+            remember_previous=False,
+        )
+        self._registry.counter(
+            "serve_snapshot_rollbacks_total",
+            "Generations restored from last-known-good history",
+        ).inc()
+        _LOG.warning(
+            "rolled back to generation %d content (now generation %d)",
+            restored.generation, snapshot.generation,
         )
         return snapshot
 
@@ -179,6 +269,56 @@ class SnapshotStore:
             ).inc(retired)
         return retired
 
+    # -- integrity ---------------------------------------------------------
+
+    def _integrity_failure(
+        self,
+        source: str,
+        reason: str,
+        path: Optional[Path] = None,
+        expected_digest: str = "",
+        actual_digest: str = "",
+    ) -> SnapshotIntegrityError:
+        """Count, quarantine (file sources) and build the structured error."""
+        quarantined_to = ""
+        if path is not None and self._quarantine and path.exists():
+            candidate = path.with_name(path.name + QUARANTINE_SUFFIX)
+            try:
+                path.replace(candidate)
+                quarantined_to = str(candidate)
+                self._registry.counter(
+                    "serve_snapshots_quarantined_total",
+                    "Corrupt snapshot files renamed aside",
+                ).inc()
+            except OSError as exc:  # quarantine is best-effort
+                _LOG.warning("cannot quarantine %s: %s", path, exc)
+        self._registry.counter(
+            "serve_snapshot_integrity_failures_total",
+            "Snapshot inputs rejected before swap",
+            source=source,
+        ).inc()
+        error = SnapshotIntegrityError(
+            source=source,
+            reason=reason,
+            path=str(path) if path is not None else "",
+            expected_digest=expected_digest,
+            actual_digest=actual_digest,
+            quarantined_to=quarantined_to,
+        )
+        _LOG.error("%s", error)
+        return error
+
+    def _chaos_corrupt(self, text: str, key: str) -> str:
+        """Let an attached fault injector corrupt snapshot bytes."""
+        if self._injector is None:
+            return text
+        from ..resilience.faults import SERVE_SURFACE, corrupt_snapshot_text
+
+        kind = self._injector.next_fault(SERVE_SURFACE, f"snapshot:{key}")
+        if kind == "corrupt_snapshot":
+            return corrupt_snapshot_text(text, seed=self._injector.seed)
+        return text
+
     # -- loaders -----------------------------------------------------------
 
     def load_from_mapping(
@@ -188,12 +328,37 @@ class SnapshotStore:
         pdb=None,
         label: str = "in-memory",
     ) -> Snapshot:
+        if len(mapping) == 0 or mapping.universe_size == 0:
+            raise self._integrity_failure(
+                "mapping", "refusing to serve an empty mapping"
+            )
         index = MappingIndex.build(mapping, whois=whois, pdb=pdb)
         return self.swap(index, source="mapping", label=label)
 
     def load_from_mapping_file(self, path: Union[str, Path]) -> Snapshot:
         path = Path(path)
-        index = MappingIndex.build(OrgMapping.load(path))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise DataError(f"cannot read mapping file {path}: {exc}") from exc
+        text = self._chaos_corrupt(text, path.name)
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise self._integrity_failure(
+                "mapping-file", f"not valid JSON: {exc}", path
+            ) from exc
+        try:
+            verify_mapping_payload(payload, origin=str(path))
+        except SnapshotIntegrityError as exc:
+            raise self._integrity_failure(
+                "mapping-file",
+                exc.reason,
+                path,
+                expected_digest=exc.expected_digest,
+                actual_digest=exc.actual_digest,
+            ) from exc
+        index = MappingIndex.build(OrgMapping.from_json(payload))
         return self.swap(index, source="mapping-file", label=str(path))
 
     def load_from_release_file(self, path: Union[str, Path]) -> Snapshot:
@@ -202,11 +367,43 @@ class SnapshotStore:
         This closes the publish/serve round trip: the file written by
         ``borges release`` (or CAIDA's own AS2Org file) groups ASNs by
         ``organizationId``; each group becomes one served organization.
+        The digest header ``borges release`` writes is verified first;
+        headerless files (CAIDA's own) skip straight to schema checks.
         """
-        from ..whois import load_as2org_file
+        from ..whois.as2org_file import (
+            load_as2org_text,
+            parse_release_header,
+            read_as2org_file_text,
+            record_lines,
+            release_digest,
+        )
+        from ..errors import SnapshotError
 
         path = Path(path)
-        whois = load_as2org_file(path)
+        text = self._chaos_corrupt(read_as2org_file_text(path), path.name)
+        try:
+            header = parse_release_header(text)
+        except SnapshotError as exc:
+            raise self._integrity_failure("release-file", str(exc), path) from exc
+        if header is not None:
+            actual = release_digest(record_lines(text))
+            expected = str(header.get("digest", ""))
+            if actual != expected:
+                raise self._integrity_failure(
+                    "release-file",
+                    "release digest mismatch (truncated or tampered file)",
+                    path,
+                    expected_digest=expected,
+                    actual_digest=actual,
+                )
+        try:
+            whois = load_as2org_text(text, origin=str(path))
+        except (SnapshotError, DataError, ValueError) as exc:
+            raise self._integrity_failure("release-file", str(exc), path) from exc
+        if not whois.asns():
+            raise self._integrity_failure(
+                "release-file", "release file contains no ASN records", path
+            )
         mapping = OrgMapping(
             universe=whois.asns(),
             clusters=[
@@ -225,6 +422,22 @@ class SnapshotStore:
         artifact = store.get("merge", fingerprint)
         if artifact is None:
             raise DataError(f"no merge artifact with fingerprint {fingerprint}")
+        actual = stable_digest(artifact.payload)
+        if actual != artifact.content_digest:
+            raise self._integrity_failure(
+                "artifact",
+                f"artifact payload digest mismatch for merge:{fingerprint[:12]}",
+                expected_digest=artifact.content_digest,
+                actual_digest=actual,
+            )
+        try:
+            verify_mapping_payload(
+                artifact.payload, origin=f"merge:{fingerprint[:12]}"
+            )
+        except SnapshotIntegrityError as exc:
+            raise self._integrity_failure(
+                "artifact", exc.reason
+            ) from exc
         mapping = OrgMapping.from_json(artifact.payload)  # type: ignore[arg-type]
         index = MappingIndex.build(mapping)
         return self.swap(
@@ -233,13 +446,20 @@ class SnapshotStore:
 
     # -- accounting --------------------------------------------------------
 
+    def history(self) -> List[Dict[str, object]]:
+        """Rollback candidates, oldest first (never the active snapshot)."""
+        with self._lock:
+            return [snapshot.describe() for snapshot in self._history]
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             active = self._active
             retiring = len(self._retiring)
+            history = len(self._history)
         out: Dict[str, object] = {
             "stale": self.stale,
             "retiring_generations": retiring,
+            "history_depth": history,
         }
         if active is not None:
             out["active"] = active.describe()
