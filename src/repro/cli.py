@@ -10,7 +10,9 @@ Subcommands:
   or ``all``).
 * ``compare`` — θ for AS2Org, as2org+ and Borges side by side.
 * ``release`` — publish a run as a CAIDA-format as2org file.
-* ``serve`` — boot the HTTP query API over a mapping snapshot.
+* ``serve`` — boot the HTTP query API over a mapping snapshot, with
+  request tracing, SLO burn-rate alerting and an optional access log.
+* ``top`` — live terminal dashboard polling a running serve process.
 * ``query`` — one-shot in-process lookups against a snapshot.
 """
 
@@ -236,6 +238,96 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="instead of serving, ask the server already running at "
         "--host/--port to roll back to its last-known-good snapshot",
+    )
+    serve.add_argument(
+        "--access-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL events (access log, admission "
+        "rejections, snapshot swaps) to this file",
+    )
+    serve.add_argument(
+        "--access-log-sample",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="fraction of http.access events kept (default 1.0; "
+        "warning+ events are never sampled away)",
+    )
+    serve.add_argument(
+        "--no-slo",
+        action="store_true",
+        help="disable the SLO tracker, exemplar store and runtime sampler",
+    )
+    serve.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        help="availability objective (default 0.999)",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=100.0,
+        help="latency SLO threshold in milliseconds (default 100)",
+    )
+    serve.add_argument(
+        "--slo-fast-window",
+        type=float,
+        default=300.0,
+        help="fast burn-rate window in seconds (default 300)",
+    )
+    serve.add_argument(
+        "--slo-slow-window",
+        type=float,
+        default=3600.0,
+        help="slow burn-rate window in seconds (default 3600)",
+    )
+    serve.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=14.4,
+        help="burn rate at which the SLO alert fires (default 14.4)",
+    )
+    serve.add_argument(
+        "--exemplar-threshold-ms",
+        type=float,
+        default=50.0,
+        help="requests slower than this are kept as exemplars with "
+        "their span tree (default 50)",
+    )
+    serve.add_argument(
+        "--sampler-interval",
+        type=float,
+        default=5.0,
+        help="seconds between runtime gauge samples (default 5)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running serve process",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server address")
+    top.add_argument(
+        "--port", type=int, default=8642, help="server port (default 8642)"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="refresh this many times then exit (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="print refreshes sequentially instead of clearing the screen",
     )
 
     query = sub.add_parser(
@@ -623,6 +715,8 @@ def _serve_injector(args: argparse.Namespace):
 
 def _build_service(args: argparse.Namespace):
     """A QueryService with one generation loaded per the CLI options."""
+    from .obs.log import EventLog, set_event_log
+    from .obs.slo import ExemplarStore, SLOConfig, SLOTracker
     from .serve import AdmissionController, AdmissionLimits, QueryService
     from .serve.store import SnapshotStore
 
@@ -642,8 +736,38 @@ def _build_service(args: argparse.Namespace):
         history_limit=getattr(args, "history", 3),
         injector=injector,
     )
+    slo = None
+    exemplars = None
+    if not getattr(args, "no_slo", True):
+        slo = SLOTracker(
+            SLOConfig(
+                availability_objective=getattr(args, "slo_availability", 0.999),
+                latency_threshold=getattr(args, "slo_latency_ms", 100.0) / 1e3,
+                fast_window_seconds=getattr(args, "slo_fast_window", 300.0),
+                slow_window_seconds=getattr(args, "slo_slow_window", 3600.0),
+                burn_rate_threshold=getattr(args, "burn_threshold", 14.4),
+            ),
+            registry=registry,
+        )
+        exemplars = ExemplarStore(
+            threshold=getattr(args, "exemplar_threshold_ms", 50.0) / 1e3
+        )
+    event_log = None
+    access_log = getattr(args, "access_log", None)
+    if access_log is not None:
+        # File-sinked log, installed globally so admission/store/executor
+        # events land in the same JSONL stream as http.access.
+        event_log = EventLog(path=access_log)
+        set_event_log(event_log)
     service = QueryService(
-        store=store, registry=registry, admission=admission, injector=injector
+        store=store,
+        registry=registry,
+        admission=admission,
+        injector=injector,
+        slo=slo,
+        exemplars=exemplars,
+        event_log=event_log,
+        access_log_sample=getattr(args, "access_log_sample", 1.0),
     )
     if args.snapshot is not None:
         path: Path = args.snapshot
@@ -703,12 +827,20 @@ def _cmd_rollback_client(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.slo import RuntimeSampler
     from .serve import QueryServer
 
     if args.rollback:
         return _cmd_rollback_client(args)
     service = _build_service(args)
     server = QueryServer(service, host=args.host, port=args.port)
+    sampler = None
+    if service.slo is not None:
+        sampler = RuntimeSampler(
+            registry=service.registry,
+            interval=args.sampler_interval,
+            admission=service.admission,
+        ).start()
     print(f"serving on {server.url}  (Ctrl-C to stop)")
     if service.admission is not None:
         limits = service.admission.limits
@@ -717,13 +849,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{limits.max_queue} queued, "
             f"{limits.default_deadline * 1e3:.0f} ms deadline"
         )
+    if service.slo is not None:
+        config = service.slo.config
+        print(
+            f"slo: availability {config.availability_objective}, "
+            f"latency {config.latency_threshold * 1e3:.0f} ms @ "
+            f"{config.latency_objective}; alerts at burn "
+            f"{config.burn_rate_threshold} "
+            f"({config.fast_window_seconds:.0f}s/"
+            f"{config.slow_window_seconds:.0f}s windows)"
+        )
+    if args.access_log is not None:
+        print(f"access log: {args.access_log}")
+    print(f"  watch: borges top --host {args.host} --port {server.port}")
     print(f"  try: curl {server.url}/v1/asn/{next(iter(service.store.current().index.asns()))}")
-    server.serve_until_interrupt()
+    try:
+        server.serve_until_interrupt()
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        log = service.event_log
+        if log.path is not None:
+            log.close()
     stats = service.stats()
     print("server stopped; request totals:")
     for key, value in sorted(dict(stats["requests"]).items()):
         print(f"  {key}: {value:,.0f}")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .serve.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -766,6 +930,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "release": _cmd_release,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "query": _cmd_query,
 }
 
@@ -781,6 +946,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result=_RUN_ARTIFACTS.get("result"),
             client=_RUN_ARTIFACTS.get("client"),
             service=_RUN_ARTIFACTS.get("service"),
+            slo=getattr(_RUN_ARTIFACTS.get("service"), "slo", None),
         )
         try:
             path = write_manifest(args.telemetry_out, manifest)

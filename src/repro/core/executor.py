@@ -32,6 +32,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..logutil import get_logger
+from ..obs.context import (
+    current_trace_context,
+    new_trace_context,
+    use_trace_context,
+)
+from ..obs.log import get_event_log
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.tracer import Span, Tracer, get_tracer
 from .artifacts import ArtifactStore, compute_fingerprint, make_artifact
@@ -192,6 +198,11 @@ class StageExecutor:
         done: set = set()
         backbone_error: Optional[BaseException] = None
         parent_span: Optional[Span] = self._tracer.current
+        # Capture the run's trace context here, on the scheduling thread:
+        # contextvars do not cross into pool workers, so run_stage
+        # re-installs it explicitly and every stage's spans and events
+        # share the run's trace ID.
+        run_context = current_trace_context() or new_trace_context()
 
         def resolve_skips(name: str) -> Optional[str]:
             """Why *name* cannot run, or None if it can."""
@@ -219,15 +230,16 @@ class StageExecutor:
             record = outcome.records[name]
             start = time.perf_counter()
             try:
-                with self._tracer.attach(parent_span):
-                    with self._tracer.span("stage." + name) as span:
-                        self._run_one(spec, record, fingerprints, outcome)
-                        span.set_attribute("status", record.status)
-                        span.set_attribute("source", record.source)
-                        if record.fingerprint:
-                            span.set_attribute(
-                                "fingerprint", record.fingerprint[:16]
-                            )
+                with use_trace_context(run_context):
+                    with self._tracer.attach(parent_span):
+                        with self._tracer.span("stage." + name) as span:
+                            self._run_one(spec, record, fingerprints, outcome)
+                            span.set_attribute("status", record.status)
+                            span.set_attribute("source", record.source)
+                            if record.fingerprint:
+                                span.set_attribute(
+                                    "fingerprint", record.fingerprint[:16]
+                                )
                 error: Optional[BaseException] = None
             except BaseException as exc:  # noqa: BLE001 - isolation boundary
                 record.status = "failed"
@@ -240,6 +252,17 @@ class StageExecutor:
                 stage=name,
                 outcome=record.status,
             ).inc()
+            with use_trace_context(run_context):
+                get_event_log().emit(
+                    "stage.finish",
+                    severity="warning" if record.status == "failed" else "info",
+                    stage=name,
+                    status=record.status,
+                    source=record.source,
+                    duration_ms=round(record.duration * 1e3, 3),
+                    fingerprint=record.fingerprint[:16],
+                    error=record.error,
+                )
             if record.status == "failed" and not spec.backbone:
                 self._metrics.counter(
                     "pipeline_feature_failures_total",

@@ -1,19 +1,52 @@
-"""Observability: metrics registry, span tracing, and run manifests.
+"""Observability: metrics, spans, trace context, events, SLOs, manifests.
 
-Three pieces, composable but independent:
+Composable but independent pieces:
 
 * :class:`MetricsRegistry` — counters, gauges and fixed-bucket histograms
   (process-global by default, injectable for tests);
-* :class:`Tracer` — nested wall-clock spans with attributes and error
-  status;
+* :class:`Tracer` — nested wall-clock spans with attributes, error
+  status, and W3C trace/span IDs;
+* :class:`TraceContext` — W3C ``traceparent`` parse/generate with
+  contextvar propagation (:func:`use_trace_context`), joining HTTP
+  requests, span trees, events and exemplars under one trace ID;
+* :class:`EventLog` — structured JSONL events (bounded ring + optional
+  file sink) stamped with the current trace ID;
+* :class:`SLOTracker` — rolling-window availability/latency objectives
+  with multi-window burn-rate alerting, plus :class:`ExemplarStore`
+  (slow-request span trees) and :class:`RuntimeSampler` (process gauges);
 * exporters — :func:`build_manifest`/:func:`write_manifest` (the JSON run
   manifest) and :func:`render_prometheus` (text exposition format).
 
 The hot paths (pipeline features, LLM client, scraper, favicon API,
-experiment runner) are instrumented against the global registry/tracer,
-so ``borges run --telemetry-out run.json`` captures a full run for free.
+experiment runner, serve tier) are instrumented against the global
+registry/tracer/event log, so ``borges run --telemetry-out run.json``
+captures a full run for free.
 """
 
+from .context import (
+    SPAN_ID_HEX_LENGTH,
+    TRACE_ID_HEX_LENGTH,
+    TRACE_RESPONSE_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_trace_context,
+    ensure_trace_context,
+    generate_span_id,
+    generate_trace_id,
+    new_trace_context,
+    parse_traceparent,
+    reset_trace_context,
+    set_trace_context,
+    use_trace_context,
+)
+from .log import (
+    DEFAULT_CAPACITY,
+    SEVERITIES,
+    EventLog,
+    get_event_log,
+    set_event_log,
+    use_event_log,
+)
 from .manifest import (
     MANIFEST_SCHEMA_VERSION,
     build_manifest,
@@ -31,12 +64,41 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    percentile,
     set_registry,
     use_registry,
+)
+from .slo import (
+    DEFAULT_BURN_RATE_THRESHOLD,
+    DEFAULT_EXEMPLAR_THRESHOLD,
+    ExemplarStore,
+    RuntimeSampler,
+    SLOConfig,
+    SLOTracker,
 )
 from .tracer import Span, Tracer, get_tracer, set_tracer, use_tracer
 
 __all__ = [
+    "SPAN_ID_HEX_LENGTH",
+    "TRACE_ID_HEX_LENGTH",
+    "TRACE_RESPONSE_HEADER",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "current_trace_context",
+    "ensure_trace_context",
+    "generate_span_id",
+    "generate_trace_id",
+    "new_trace_context",
+    "parse_traceparent",
+    "reset_trace_context",
+    "set_trace_context",
+    "use_trace_context",
+    "DEFAULT_CAPACITY",
+    "SEVERITIES",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+    "use_event_log",
     "MANIFEST_SCHEMA_VERSION",
     "build_manifest",
     "config_fingerprint",
@@ -51,8 +113,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "percentile",
     "set_registry",
     "use_registry",
+    "DEFAULT_BURN_RATE_THRESHOLD",
+    "DEFAULT_EXEMPLAR_THRESHOLD",
+    "ExemplarStore",
+    "RuntimeSampler",
+    "SLOConfig",
+    "SLOTracker",
     "Span",
     "Tracer",
     "get_tracer",

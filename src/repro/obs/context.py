@@ -1,0 +1,205 @@
+"""Request-scoped trace context: W3C ``traceparent`` in, trace IDs out.
+
+Every serve request and pipeline run carries a :class:`TraceContext` —
+a 128-bit trace ID naming the whole operation and a 64-bit span ID
+naming the caller's position in it.  The context rides a
+:mod:`contextvars` variable, so anything downstream (the span tracer,
+the structured event log, the SLO exemplar store) can stamp the current
+trace ID without threading an argument through every call.
+
+Interop follows the W3C Trace Context spec for the ``traceparent``
+header::
+
+    traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+                 ^^ ^^^^^^^^^^^^ trace-id ^^^^^^^^^ ^^ parent-id ^^^ ^^flags
+
+:func:`parse_traceparent` is strict where the spec is strict — IDs must
+be lowercase hex of exactly the right length and must not be all zeros,
+version ``ff`` is forbidden — and lenient where the spec demands it:
+an unknown future version is accepted as long as its first four fields
+parse (extra fields are ignored).  The HTTP layer answers every request
+with an ``x-borges-trace-id`` response header so clients can correlate
+their call with the server's access log and exemplars.
+
+Note that :mod:`contextvars` values do **not** cross thread boundaries:
+a new thread starts with an empty context.  Code that fans work out to
+workers (the stage executor, the HTTP server's handler threads) must
+re-install the context explicitly — :func:`use_trace_context` is the
+tool for that.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+#: Incoming request header carrying the upstream trace context.
+TRACEPARENT_HEADER = "traceparent"
+
+#: Response header stamping the trace ID the server used for a request.
+TRACE_RESPONSE_HEADER = "x-borges-trace-id"
+
+TRACE_ID_HEX_LENGTH = 32
+SPAN_ID_HEX_LENGTH = 16
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+#: ID generator.  Seeded from the OS once per process: IDs must be
+#: unpredictable across processes but need no cryptographic strength,
+#: and ``getrandbits`` is an order of magnitude cheaper than
+#: ``os.urandom`` per call (the load generator mints one per request).
+_RNG = random.Random(int.from_bytes(os.urandom(16), "big"))
+
+
+def _is_lower_hex(value: str, length: int) -> bool:
+    return len(value) == length and not set(value) - _HEX_DIGITS
+
+
+def generate_trace_id() -> str:
+    """A new 32-hex-char, non-zero trace ID."""
+    value = 0
+    while not value:
+        value = _RNG.getrandbits(128)
+    return f"{value:032x}"
+
+
+def generate_span_id() -> str:
+    """A new 16-hex-char, non-zero span ID."""
+    value = 0
+    while not value:
+        value = _RNG.getrandbits(64)
+    return f"{value:016x}"
+
+
+class TraceContext:
+    """One position in one distributed trace.
+
+    A ``__slots__`` class rather than a dataclass: the serve tier builds
+    one per request and the load generator one per simulated request, so
+    construction cost is on the hot path (a frozen dataclass ``__init__``
+    routes every field through ``object.__setattr__``).  Treat instances
+    as immutable; the one sanctioned exception is the load generator,
+    which reuses a single installed context across a run and re-stamps
+    its ``trace_id`` per request to keep tracing overhead inside the
+    throughput budget.
+    """
+
+    __slots__ = ("trace_id", "span_id", "flags")
+
+    def __init__(self, trace_id: str, span_id: str, flags: int = 1) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.flags = flags
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (
+            self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.flags == other.flags
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.flags))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, flags={self.flags!r})"
+        )
+
+    @property
+    def sampled(self) -> bool:
+        return bool(self.flags & 0x01)
+
+    def child(self) -> "TraceContext":
+        """A new context in the same trace, one hop down."""
+        return TraceContext(self.trace_id, generate_span_id(), self.flags)
+
+    def to_traceparent(self) -> str:
+        """The outgoing ``traceparent`` header value (version 00)."""
+        return f"00-{self.trace_id}-{self.span_id}-{self.flags & 0xFF:02x}"
+
+
+def new_trace_context() -> TraceContext:
+    """A fresh root context (new trace, sampled)."""
+    return TraceContext(generate_trace_id(), generate_span_id(), flags=1)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; ``None`` for anything invalid.
+
+    Per the W3C spec: the version is two lowercase hex chars and must
+    not be ``ff``; the trace ID is 32 lowercase hex chars, the parent
+    (span) ID 16, and neither may be all zeros; the flags are two hex
+    chars.  A version ``00`` header must have exactly four fields;
+    higher versions may carry extra fields, which are ignored.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags_hex = parts[:4]
+    if not _is_lower_hex(version, 2) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if not _is_lower_hex(trace_id, TRACE_ID_HEX_LENGTH):
+        return None
+    if trace_id == "0" * TRACE_ID_HEX_LENGTH:
+        return None
+    if not _is_lower_hex(span_id, SPAN_ID_HEX_LENGTH):
+        return None
+    if span_id == "0" * SPAN_ID_HEX_LENGTH:
+        return None
+    if not _is_lower_hex(flags_hex, 2):
+        return None
+    return TraceContext(trace_id, span_id, int(flags_hex, 16))
+
+
+# -- contextvar propagation ----------------------------------------------------
+
+_CURRENT: "ContextVar[Optional[TraceContext]]" = ContextVar(
+    "borges_trace_context", default=None
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The context of the operation this code is running inside, if any."""
+    return _CURRENT.get()
+
+
+def set_trace_context(context: Optional[TraceContext]):
+    """Install *context*; returns a token for :func:`reset_trace_context`."""
+    return _CURRENT.set(context)
+
+
+def reset_trace_context(token) -> None:
+    _CURRENT.reset(token)
+
+
+def ensure_trace_context() -> TraceContext:
+    """The current context, installing a fresh root one if absent."""
+    context = _CURRENT.get()
+    if context is None:
+        context = new_trace_context()
+        _CURRENT.set(context)
+    return context
+
+
+@contextmanager
+def use_trace_context(
+    context: Optional[TraceContext] = None,
+) -> Iterator[TraceContext]:
+    """Install *context* (default: a fresh root) for the block's duration."""
+    context = context or new_trace_context()
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

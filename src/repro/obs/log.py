@@ -1,0 +1,218 @@
+"""Structured JSONL event log: the durable record of what the system did.
+
+Metrics answer "how many"; spans answer "how long"; the event log
+answers "what happened, in order, to *this* request".  An
+:class:`EventLog` holds a bounded in-memory ring (so a serving process
+can be interrogated over HTTP without unbounded growth) and optionally
+appends every retained event to a JSONL file sink (``borges serve
+--access-log``).  Each event is one flat JSON object::
+
+    {"ts": 1754556000.123, "event": "http.access", "severity": "info",
+     "trace_id": "4bf92f35…", "endpoint": "asn", "status": 200,
+     "admission": "admitted", "generation": 3, "latency_ms": 0.412}
+
+The current :class:`~repro.obs.context.TraceContext` is stamped onto
+every event automatically, which is what makes the log joinable with
+response headers, span trees and SLO exemplars.
+
+High-volume event classes (the per-request access log) pass a
+``sample`` rate: sampling is decided by a seeded RNG *before* the ring
+is touched, so a sampled-out event costs one random draw.  Severities
+follow stdlib logging (``debug`` < ``info`` < ``warning`` < ``error``)
+and events below ``min_severity`` are dropped at the source.
+
+Like the registry and tracer, a process-global instance backs
+zero-config emission (:func:`get_event_log`); tests and the CLI swap in
+a configured one via :func:`use_event_log`/:func:`set_event_log`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..errors import ConfigError
+from .context import current_trace_context
+
+#: Severity names in ascending order of urgency.
+SEVERITIES = ("debug", "info", "warning", "error")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: Default in-memory ring capacity (events, not bytes).
+DEFAULT_CAPACITY = 2048
+
+
+class EventLog:
+    """Bounded ring of structured events with an optional JSONL file sink."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        path: Optional[Union[str, Path]] = None,
+        min_severity: str = "debug",
+        sample_seed: int = 0x10C,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"event log capacity must be >= 1: {capacity}")
+        if min_severity not in _SEVERITY_RANK:
+            raise ConfigError(
+                f"unknown severity {min_severity!r}; known: {SEVERITIES}"
+            )
+        self._ring: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._min_rank = _SEVERITY_RANK[min_severity]
+        self._rng = random.Random(sample_seed)
+        self._path = Path(path) if path is not None else None
+        self._file = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self._path, "a", encoding="utf-8")
+        self.emitted = 0
+        self.sampled_out = 0
+        self.suppressed = 0
+        self.written = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    def emit(
+        self,
+        name: str,
+        severity: str = "info",
+        sample: float = 1.0,
+        **fields: object,
+    ) -> Optional[Dict[str, object]]:
+        """Record one event; returns it, or ``None`` when dropped.
+
+        ``sample`` < 1 keeps that fraction of calls (seeded, so a run's
+        kept set is reproducible).  Severities at ``warning`` and above
+        are never sampled away — losing the rare events is exactly the
+        failure mode sampling must not introduce.
+        """
+        rank = _SEVERITY_RANK.get(severity)
+        if rank is None:
+            raise ConfigError(
+                f"unknown severity {severity!r}; known: {SEVERITIES}"
+            )
+        if rank < self._min_rank:
+            self.suppressed += 1
+            return None
+        if sample < 1.0 and rank < _SEVERITY_RANK["warning"]:
+            if self._rng.random() >= sample:
+                self.sampled_out += 1
+                return None
+        event: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "event": name,
+            "severity": severity,
+        }
+        context = current_trace_context()
+        if context is not None:
+            event["trace_id"] = context.trace_id
+        event.update(fields)
+        with self._lock:
+            self._ring.append(event)
+            self.emitted += 1
+            if self._file is not None:
+                self._file.write(
+                    json.dumps(event, sort_keys=True, default=str) + "\n"
+                )
+                self.written += 1
+                # Flush every line: the sink sits on request paths that
+                # are milliseconds-scale, and a buffered access log is
+                # useless to an operator tailing it live.
+                self._file.flush()
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def events(
+        self, name: Optional[str] = None, limit: int = 0
+    ) -> List[Dict[str, object]]:
+        """Retained events (oldest first), optionally filtered by name."""
+        with self._lock:
+            out = [
+                dict(event)
+                for event in self._ring
+                if name is None or event.get("event") == name
+            ]
+        if limit > 0:
+            out = out[-limit:]
+        return out
+
+    def tail(self, n: int = 10) -> List[Dict[str, object]]:
+        return self.events(limit=n)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            buffered = len(self._ring)
+        return {
+            "emitted": self.emitted,
+            "sampled_out": self.sampled_out,
+            "suppressed": self.suppressed,
+            "written": self.written,
+            "buffered": buffered,
+            "capacity": self.capacity,
+            "path": str(self._path) if self._path is not None else "",
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- process-global default ----------------------------------------------------
+
+_GLOBAL_EVENT_LOG = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-global event log instrumented modules default to."""
+    return _GLOBAL_EVENT_LOG
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Swap the global event log; returns the previous one."""
+    global _GLOBAL_EVENT_LOG
+    previous = _GLOBAL_EVENT_LOG
+    _GLOBAL_EVENT_LOG = log
+    return previous
+
+
+@contextmanager
+def use_event_log(log: Optional[EventLog] = None) -> Iterator[EventLog]:
+    """Temporarily install *log* (default: a fresh one) as global."""
+    log = log or EventLog()
+    previous = set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)

@@ -91,6 +91,7 @@ def build_manifest(
     service=None,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    slo=None,
     extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble a manifest from whatever run artifacts are available.
@@ -117,6 +118,10 @@ def build_manifest(
         # cache stats and snapshot generation ride in the same manifest
         # as the write-path stages.
         manifest["serve"] = _jsonable(service.stats())
+    if slo is not None:
+        # SLO posture at export time: burn rates per window and the
+        # firing/clear state of each objective's alert.
+        manifest["slo"] = _jsonable(slo.snapshot())
     if result is not None:
         manifest["features"] = _feature_section(result, tracer)
         stage_records = getattr(result, "stage_records", None)

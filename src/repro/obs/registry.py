@@ -46,6 +46,20 @@ def _label_items(labels: Mapping[str, object]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0..1) of raw samples by nearest-rank; 0.0 if empty.
+
+    The one shared implementation — the load generator and any other
+    raw-sample consumer use this; histogram consumers use
+    :meth:`Histogram.quantile`, which estimates from bucket counts.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
 class Counter:
     """A monotonically increasing value."""
 
@@ -118,6 +132,41 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0..1) from bucket counts.
+
+        Linear interpolation within the bucket the target rank falls in
+        (Prometheus' ``histogram_quantile`` construction).  Ranks landing
+        in the ``+Inf`` bucket clamp to the top finite bound — the honest
+        answer a fixed-bucket histogram can give.  0.0 when empty.
+        """
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        target = q * self.count
+        running = 0
+        for i, bound in enumerate(self.buckets):
+            previous = running
+            running += self.bucket_counts[i]
+            if running >= target:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                in_bucket = self.bucket_counts[i]
+                if in_bucket == 0:
+                    return bound
+                frac = (target - previous) / in_bucket
+                return lower + (bound - lower) * frac
+        return self.buckets[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, mean, p50, p90, p99}`` — the shared latency rollup."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
 
 
 class _Family:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..logutil import get_logger
+from .context import current_trace_context, generate_span_id, generate_trace_id
 
 _LOG = get_logger("obs.tracer")
 
@@ -41,6 +42,9 @@ class Span:
     status: str = "in_progress"  # "in_progress" | "ok" | "error"
     error: str = ""
     children: List["Span"] = field(default_factory=list)
+    trace_id: str = ""  # 32-hex W3C trace ID shared by the whole tree
+    span_id: str = ""  # 16-hex ID of this span
+    parent_span_id: str = ""  # parent's span_id, or the remote caller's
 
     def set_attribute(self, key: str, value: object) -> None:
         self.attributes[key] = value
@@ -56,6 +60,11 @@ class Span:
             "duration_seconds": self.duration,
             "status": self.status,
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            if self.parent_span_id:
+                out["parent_span_id"] = self.parent_span_id
         if self.attributes:
             out["attributes"] = dict(self.attributes)
         if self.error:
@@ -113,15 +122,33 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
-        """Open a span; nests under the currently active span, if any."""
+        """Open a span; nests under the currently active span, if any.
+
+        Trace identity: a child span inherits its parent's trace ID and
+        records the parent's span ID; a root span adopts the ambient
+        :func:`~repro.obs.context.current_trace_context` (so a span tree
+        opened while serving a request joins the request's trace, with
+        the HTTP-layer span ID as its remote parent) and only mints a
+        brand-new trace ID when there is no ambient context at all.
+        """
         node = Span(
             name=name,
             attributes=dict(attributes),
             started_at=time.time(),
+            span_id=generate_span_id(),
         )
         if self._stack:
-            self._stack[-1].children.append(node)
+            parent = self._stack[-1]
+            node.trace_id = parent.trace_id
+            node.parent_span_id = parent.span_id
+            parent.children.append(node)
         else:
+            context = current_trace_context()
+            if context is not None:
+                node.trace_id = context.trace_id
+                node.parent_span_id = context.span_id
+            else:
+                node.trace_id = generate_trace_id()
             with self._lock:
                 self._roots.append(node)
         self._stack.append(node)

@@ -20,15 +20,24 @@ them, the way downstream tools consume CAIDA's AS2Org:
   saturated load sheds fast (HTTP 429/503) instead of piling up;
 * :mod:`repro.serve.loadgen` — seeded Zipfian traffic for benchmarks,
   including a multi-threaded overload mode with response-class
-  accounting.
+  accounting and per-request trace-context propagation;
+* :mod:`repro.serve.top` — the ``borges top`` terminal dashboard,
+  polling ``/metrics`` + ``/v1/admin/slo`` into a live view.
 
-``borges serve`` and ``borges query`` are the CLI entry points.
+Observability rides through the whole stack: every HTTP response
+carries ``x-borges-trace-id``, request outcomes feed the
+:class:`~repro.obs.slo.SLOTracker`'s burn-rate alerts, and sampled
+``http.access`` events land in the structured event log.
+
+``borges serve``, ``borges query`` and ``borges top`` are the CLI entry
+points.
 """
 
 from .admission import AdmissionController, AdmissionLimits
 from .index import AsnRecord, MappingIndex, OrgRecord, org_handle, tokenize
 from .loadgen import (
     RESPONSE_CLASSES,
+    SLOWEST_REPORTED,
     LoadGenerator,
     LoadReport,
     ZipfianSampler,
@@ -37,6 +46,7 @@ from .loadgen import (
 from .service import ENDPOINTS, QueryService
 from .store import Snapshot, SnapshotStore
 from .httpd import MAX_BATCH_ASNS, MAX_CONTENT_LENGTH, QueryServer
+from .top import TopView, run_top
 
 __all__ = [
     "AdmissionController",
@@ -49,8 +59,11 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "RESPONSE_CLASSES",
+    "SLOWEST_REPORTED",
     "ZipfianSampler",
     "percentile",
+    "TopView",
+    "run_top",
     "ENDPOINTS",
     "QueryService",
     "Snapshot",

@@ -33,6 +33,7 @@ from typing import Dict, Mapping, Optional
 
 from ..errors import ConfigError, DeadlineExceededError, OverloadedError
 from ..obs import get_registry
+from ..obs.log import get_event_log
 
 #: Endpoint deadline used when :class:`AdmissionLimits` names no override.
 DEFAULT_DEADLINE_SECONDS = 1.0
@@ -174,6 +175,13 @@ class AdmissionController:
                 return Ticket(self, endpoint, deadline_at, queued_for=0.0)
             if self._queued >= limits.max_queue:
                 self._shed_total.inc()
+                get_event_log().emit(
+                    "admission.shed",
+                    severity="warning",
+                    endpoint=endpoint,
+                    inflight=self._inflight,
+                    queued=self._queued,
+                )
                 raise OverloadedError(
                     endpoint,
                     retry_after=self._retry_after(),
@@ -190,6 +198,12 @@ class AdmissionController:
                     remaining = deadline_at - time.monotonic()
                     if remaining <= 0:
                         self._deadline_total.inc()
+                        get_event_log().emit(
+                            "admission.deadline",
+                            severity="warning",
+                            endpoint=endpoint,
+                            deadline_seconds=deadline_budget,
+                        )
                         raise DeadlineExceededError(endpoint, deadline_budget)
                     self._slot_freed.wait(remaining)
             finally:

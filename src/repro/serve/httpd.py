@@ -9,9 +9,17 @@ A :class:`ThreadingHTTPServer` exposing the read API as JSON:
 ``GET /v1/search``           ``?q=&limit=`` org-name search
 ``POST /v1/batch``           ``{"asns": [...]}`` batched lookup
 ``POST /v1/admin/rollback``  restore the last-known-good generation
+``GET /v1/admin/slo``        burn rates + alert state per objective
+``GET /v1/admin/exemplars``  slow-request exemplars with span trees
 ``GET /healthz``             200 ok/degraded, 503 before the first snapshot
 ``GET /metrics``             Prometheus text exposition
 ==========================  ===================================================
+
+Every response carries an ``x-borges-trace-id`` header: the trace ID of
+the client's ``traceparent`` when one was supplied (we continue their
+trace), otherwise a freshly minted one.  The same ID appears in the
+sampled ``http.access`` event log and — for requests over the exemplar
+threshold — in ``/v1/admin/exemplars`` with the request's span tree.
 
 Binding ``port=0`` picks an ephemeral port (the bound port is exposed as
 ``server.port``), which is how the tests and the CI smoke job run many
@@ -32,6 +40,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -45,7 +54,15 @@ from ..errors import (
     UnknownOrgError,
 )
 from ..logutil import get_logger
-from ..obs import render_prometheus
+from ..obs import Tracer, render_prometheus
+from ..obs.context import (
+    TRACE_RESPONSE_HEADER,
+    TRACEPARENT_HEADER,
+    new_trace_context,
+    parse_traceparent,
+    reset_trace_context,
+    set_trace_context,
+)
 from .service import QueryService
 
 _LOG = get_logger("serve.httpd")
@@ -66,12 +83,44 @@ class _BadParam(ValueError):
         self.raw = raw
 
 
+def _endpoint_for(path: str) -> str:
+    """Classify a request path into the access-log endpoint label."""
+    if path.startswith("/v1/asn/"):
+        return "asn"
+    if path.startswith("/v1/org/"):
+        return "org"
+    if path == "/v1/siblings":
+        return "siblings"
+    if path == "/v1/search":
+        return "search"
+    if path == "/v1/batch":
+        return "batch"
+    if path == "/v1/admin/rollback":
+        return "rollback"
+    if path == "/v1/admin/slo":
+        return "slo"
+    if path == "/v1/admin/exemplars":
+        return "exemplars"
+    if path == "/healthz":
+        return "health"
+    if path == "/metrics":
+        return "metrics"
+    return "unknown"
+
+
 def _make_handler(service: QueryService):
     registry = service.registry
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "borges-serve"
+
+        # Per-request state installed by _dispatch before routing.  A
+        # handler instance serves one connection's requests sequentially,
+        # so plain instance attributes are race-free.
+        _trace_context = None
+        _status = 0
+        _admission = "admitted"
 
         # -- plumbing --------------------------------------------------
 
@@ -88,10 +137,15 @@ def _make_handler(service: QueryService):
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if self._trace_context is not None:
+                self.send_header(
+                    TRACE_RESPONSE_HEADER, self._trace_context.trace_id
+                )
             for name, value in (extra_headers or {}).items():
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
+            self._status = code
             registry.counter(
                 "serve_http_requests_total",
                 "HTTP requests by status code",
@@ -131,28 +185,88 @@ def _make_handler(service: QueryService):
         # -- routes ----------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def _dispatch(self, method: str) -> None:
+            """Trace, route, answer, and account for one request.
+
+            The trace context comes from the client's ``traceparent``
+            (we continue their trace one hop down) or is freshly minted;
+            it lives in the handler thread's contextvar for the request's
+            duration so the event log and span tracer pick it up without
+            plumbing.  Every response carries the trace ID back to the
+            client; the finally block writes the sampled access-log
+            event and offers slow requests to the exemplar store with
+            their full span tree.
+            """
             path, params = self._query()
+            endpoint = _endpoint_for(path)
+            incoming = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+            context = (
+                incoming.child() if incoming is not None
+                else new_trace_context()
+            )
+            token = set_trace_context(context)
+            self._trace_context = context
+            self._status = 0
+            self._admission = "admitted"
+            # A fresh per-request tracer: its span tree is either handed
+            # to the exemplar store or dropped with the request, so the
+            # process-global tracer's root list never grows with traffic.
+            tracer = Tracer()
+            started = time.perf_counter()
             try:
-                if path.startswith("/v1/asn/"):
-                    self._handle_asn(path[len("/v1/asn/"):])
-                elif path.startswith("/v1/org/"):
-                    self._handle_org(path[len("/v1/org/"):])
-                elif path == "/v1/siblings":
-                    self._handle_siblings(params)
-                elif path == "/v1/search":
-                    self._handle_search(params)
-                elif path == "/healthz":
-                    self._handle_health()
-                elif path == "/metrics":
-                    self._handle_metrics()
+                with tracer.span(
+                    f"http.{endpoint}", method=method, path=path
+                ) as root:
+                    self._route(method, path, params)
+                    root.set_attribute("status", self._status)
+            finally:
+                elapsed = time.perf_counter() - started
+                self._observe(method, path, endpoint, elapsed, tracer)
+                self._trace_context = None
+                reset_trace_context(token)
+
+        def _route(self, method: str, path: str, params: dict) -> None:
+            """Dispatch to the endpoint body; always answers the client."""
+            try:
+                if method == "GET":
+                    if path.startswith("/v1/asn/"):
+                        self._handle_asn(path[len("/v1/asn/"):])
+                    elif path.startswith("/v1/org/"):
+                        self._handle_org(path[len("/v1/org/"):])
+                    elif path == "/v1/siblings":
+                        self._handle_siblings(params)
+                    elif path == "/v1/search":
+                        self._handle_search(params)
+                    elif path == "/v1/admin/slo":
+                        self._handle_slo()
+                    elif path == "/v1/admin/exemplars":
+                        self._handle_exemplars()
+                    elif path == "/healthz":
+                        self._handle_health()
+                    elif path == "/metrics":
+                        self._handle_metrics()
+                    else:
+                        self._send_error(404, f"no route {path}")
                 else:
-                    self._send_error(404, f"no route {path}")
+                    if path == "/v1/batch":
+                        self._handle_batch()
+                    elif path == "/v1/admin/rollback":
+                        self._handle_rollback()
+                    else:
+                        self._send_error(404, f"no route {path}")
             except _BadParam as exc:
                 # Malformed input is the client's 400, never our 500.
                 self._send_error(400, str(exc))
             except OverloadedError as exc:
+                self._admission = "shed"
                 self._send_overloaded(exc)
             except DeadlineExceededError as exc:
+                self._admission = "deadline"
                 self._send_error(503, str(exc))
             except NoSnapshotError:
                 self._send_error(503, "no mapping snapshot loaded")
@@ -161,24 +275,38 @@ def _make_handler(service: QueryService):
                 _LOG.exception("handler error on %s", self.path)
                 self._send_error(500, f"internal error: {exc}")
 
-        def do_POST(self) -> None:  # noqa: N802
-            path, _ = self._query()
-            try:
-                if path == "/v1/batch":
-                    self._handle_batch()
-                elif path == "/v1/admin/rollback":
-                    self._handle_rollback()
-                else:
-                    self._send_error(404, f"no route {path}")
-            except OverloadedError as exc:
-                self._send_overloaded(exc)
-            except DeadlineExceededError as exc:
-                self._send_error(503, str(exc))
-            except NoSnapshotError:
-                self._send_error(503, "no mapping snapshot loaded")
-            except Exception as exc:  # noqa: BLE001
-                _LOG.exception("handler error on %s", self.path)
-                self._send_error(500, f"internal error: {exc}")
+        def _observe(
+            self,
+            method: str,
+            path: str,
+            endpoint: str,
+            elapsed: float,
+            tracer: Tracer,
+        ) -> None:
+            """Access-log event + exemplar offer for a finished request."""
+            snapshot = service.store.current_or_none()
+            service.event_log.emit(
+                "http.access",
+                sample=service.access_log_sample,
+                method=method,
+                path=path,
+                endpoint=endpoint,
+                status=self._status,
+                admission=self._admission,
+                generation=(
+                    snapshot.generation if snapshot is not None else 0
+                ),
+                latency_ms=round(elapsed * 1e3, 3),
+            )
+            exemplars = service.exemplars
+            if exemplars is not None and elapsed >= exemplars.threshold:
+                exemplars.offer(
+                    endpoint=endpoint,
+                    status=self._status,
+                    latency=elapsed,
+                    trace_id=self._trace_context.trace_id,
+                    spans=tracer.to_dicts(),
+                )
 
         # -- endpoint bodies -------------------------------------------
 
@@ -301,13 +429,46 @@ def _make_handler(service: QueryService):
             ready, body = service.health()
             self._send_json(200 if ready else 503, body)
 
+        def _handle_slo(self) -> None:
+            if service.slo is None:
+                self._send_error(404, "no SLO tracker configured")
+                return
+            self._send_json(200, service.slo.snapshot())
+
+        def _handle_exemplars(self) -> None:
+            if service.exemplars is None:
+                self._send_error(404, "no exemplar store configured")
+                return
+            store = service.exemplars
+            self._send_json(
+                200,
+                {"stats": store.stats(), "exemplars": store.exemplars()},
+            )
+
         def _handle_metrics(self) -> None:
+            # Self-metrics: the scrape counter increments *before* the
+            # render so every exposition includes its own scrape; the
+            # render-time observation lands in the next one.
+            registry.counter(
+                "serve_metrics_scrapes_total",
+                "Prometheus exposition requests served",
+            ).inc()
+            render_started = time.perf_counter()
             body = render_prometheus(registry).encode("utf-8")
+            registry.histogram(
+                "serve_metrics_render_seconds",
+                "Time spent rendering the Prometheus exposition",
+            ).observe(time.perf_counter() - render_started)
             self.send_response(200)
             self.send_header("Content-Type", "text/plain; version=0.0.4")
             self.send_header("Content-Length", str(len(body)))
+            if self._trace_context is not None:
+                self.send_header(
+                    TRACE_RESPONSE_HEADER, self._trace_context.trace_id
+                )
             self.end_headers()
             self.wfile.write(body)
+            self._status = 200
 
     return Handler
 

@@ -35,6 +35,8 @@ from ..errors import (
     UnknownOrgError,
 )
 from ..obs import DEFAULT_LOOKUP_BUCKETS, get_registry
+from ..obs.log import EventLog, get_event_log
+from ..obs.slo import ExemplarStore, SLOTracker
 from ..types import ASN
 from .admission import AdmissionController
 from .store import SnapshotStore
@@ -93,10 +95,18 @@ class QueryService:
         cache_size: int = 8192,
         admission: Optional[AdmissionController] = None,
         injector=None,
+        slo: Optional[SLOTracker] = None,
+        exemplars: Optional[ExemplarStore] = None,
+        event_log: Optional[EventLog] = None,
+        access_log_sample: float = 1.0,
     ) -> None:
         self.registry = registry or get_registry()
         self.admission = admission
         self._injector = injector
+        self.slo = slo
+        self.exemplars = exemplars
+        self._event_log = event_log
+        self.access_log_sample = access_log_sample
         self.store = store or SnapshotStore(
             registry=self.registry, injector=injector
         )
@@ -133,9 +143,19 @@ class QueryService:
 
     # -- plumbing ----------------------------------------------------------
 
+    @property
+    def event_log(self) -> EventLog:
+        """The configured event log, defaulting to the process global."""
+        return self._event_log if self._event_log is not None else get_event_log()
+
     def _finish(self, endpoint: str, status: str, started: float) -> None:
-        self._latency[endpoint].observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._latency[endpoint].observe(elapsed)
         self._requests[(endpoint, status)].inc()
+        if self.slo is not None:
+            # A 404 is a correct answer; only shed/deadline/unavailable
+            # count against availability.
+            self.slo.record(ok=status in ("ok", "not_found"), latency=elapsed)
 
     def _annotate(self, response: dict, generation: int) -> dict:
         response["generation"] = generation
@@ -159,9 +179,13 @@ class QueryService:
             ticket = self.admission.admit(endpoint)
         except OverloadedError:
             self._requests[(endpoint, "shed")].inc()
+            if self.slo is not None:
+                self.slo.record(ok=False, latency=0.0)
             raise
         except DeadlineExceededError:
             self._requests[(endpoint, "deadline")].inc()
+            if self.slo is not None:
+                self.slo.record(ok=False, latency=0.0)
             raise
         if self._injector is not None:
             # Stall while holding the slot — a slow reader occupies real
@@ -356,6 +380,9 @@ class QueryService:
         }
         if self.admission is not None:
             body["admission"] = self.admission.occupancy()
+        if self.slo is not None:
+            # Alert posture only — /v1/admin/slo has the full windows.
+            body["slo"] = self.slo.alerts()
         return True, body
 
     def stats(self) -> Dict[str, object]:
@@ -363,11 +390,29 @@ class QueryService:
         for (endpoint, status), counter in self._requests.items():
             if counter.value:
                 totals[f"{endpoint}.{status}"] = counter.value
+        # Per-endpoint latency rollups straight off the histograms — the
+        # same quantile estimator the load generator summarises with.
+        latency: Dict[str, Dict[str, float]] = {}
+        for endpoint, histogram in self._latency.items():
+            if histogram.count:
+                summary = histogram.summary()
+                latency[endpoint] = {
+                    "count": int(summary["count"]),
+                    "mean_us": round(summary["mean"] * 1e6, 3),
+                    "p50_us": round(summary["p50"] * 1e6, 3),
+                    "p90_us": round(summary["p90"] * 1e6, 3),
+                    "p99_us": round(summary["p99"] * 1e6, 3),
+                }
         out: Dict[str, object] = {
             "snapshot": self.store.stats(),
             "requests": totals,
+            "latency_summary": latency,
             "response_cache": self._cache.stats(),
         }
         if self.admission is not None:
             out["admission"] = self.admission.occupancy()
+        if self.slo is not None:
+            out["slo"] = self.slo.snapshot()
+        if self.exemplars is not None:
+            out["exemplars"] = self.exemplars.stats()
         return out

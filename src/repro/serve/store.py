@@ -48,6 +48,7 @@ from ..errors import (
 )
 from ..logutil import get_logger
 from ..obs import get_registry
+from ..obs.log import get_event_log
 from .index import MappingIndex
 
 _LOG = get_logger("serve.store")
@@ -189,6 +190,12 @@ class SnapshotStore:
             "snapshot generation %d installed from %s (%s)",
             snapshot.generation, source, label,
         )
+        get_event_log().emit(
+            "snapshot.swap",
+            generation=snapshot.generation,
+            source=source,
+            label=label,
+        )
         return snapshot
 
     def rollback(self) -> Snapshot:
@@ -221,6 +228,12 @@ class SnapshotStore:
             "rolled back to generation %d content (now generation %d)",
             restored.generation, snapshot.generation,
         )
+        get_event_log().emit(
+            "snapshot.rollback",
+            severity="warning",
+            restored_generation=restored.generation,
+            new_generation=snapshot.generation,
+        )
         return snapshot
 
     def try_swap(
@@ -243,6 +256,13 @@ class SnapshotStore:
                 "Snapshot loads that failed (old generation kept)",
             ).inc()
             _LOG.warning("snapshot swap failed (%s): %s", label, exc)
+            get_event_log().emit(
+                "snapshot.swap_failed",
+                severity="warning",
+                label=label,
+                error=f"{type(exc).__name__}: {exc}",
+                stale=self.stale,
+            )
             return None
 
     def drain(self, timeout: float = 5.0) -> int:
@@ -306,6 +326,14 @@ class SnapshotStore:
             quarantined_to=quarantined_to,
         )
         _LOG.error("%s", error)
+        get_event_log().emit(
+            "snapshot.integrity_failure",
+            severity="error",
+            source=source,
+            reason=reason,
+            path=str(path) if path is not None else "",
+            quarantined_to=quarantined_to,
+        )
         return error
 
     def _chaos_corrupt(self, text: str, key: str) -> str:

@@ -1,0 +1,226 @@
+"""``borges top``: a live terminal view of a running serve process.
+
+Polls the server's own public surfaces — ``/metrics`` (Prometheus text),
+``/v1/admin/slo`` and ``/healthz`` — and renders a compact dashboard:
+request rates per status code (computed as counter deltas between
+polls), per-endpoint latency quantiles off the serve histograms,
+admission-gate occupancy, SLO burn rates with firing/clear alert state,
+and process gauges from the runtime sampler.  No dependencies beyond
+stdlib: the Prometheus parser below understands exactly the exposition
+format :mod:`repro.obs.prometheus` emits.
+
+:func:`run_top` is the loop; ``iterations``/``stream`` parameters exist
+so tests can drive one refresh into a buffer instead of a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, List, Optional, TextIO, Tuple
+from urllib.error import URLError
+from urllib.request import urlopen
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: ANSI "clear screen + home" used between refreshes.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[LabelKey, float]]:
+    """Parse Prometheus text exposition into ``{name: {labels: value}}``.
+
+    Minimal by design: handles the ``name{label="v",...} value`` and
+    ``name value`` line forms our own renderer produces, skips comments
+    and anything it cannot parse.  Histogram series arrive under their
+    ``_bucket``/``_sum``/``_count`` suffixed names.
+    """
+    out: Dict[str, Dict[LabelKey, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            metric_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            continue
+        labels: List[Tuple[str, str]] = []
+        name = metric_part
+        if "{" in metric_part and metric_part.endswith("}"):
+            name, _, label_blob = metric_part.partition("{")
+            for pair in label_blob[:-1].split(","):
+                if not pair:
+                    continue
+                key, _, raw = pair.partition("=")
+                labels.append((key.strip(), raw.strip().strip('"')))
+        out.setdefault(name, {})[tuple(sorted(labels))] = value
+    return out
+
+
+def _fetch(url: str, timeout: float = 2.0) -> str:
+    with urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+class TopView:
+    """One serve process's polled state and its rendered dashboard."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url.rstrip("/")
+        self._previous: Optional[Dict[str, Dict[LabelKey, float]]] = None
+        self._previous_at = 0.0
+
+    # -- polling -----------------------------------------------------------
+
+    def poll(self) -> Dict[str, object]:
+        """One round of scrapes; returns the raw state for rendering."""
+        state: Dict[str, object] = {"at": time.time(), "error": ""}
+        try:
+            metrics = parse_prometheus_text(
+                _fetch(f"{self.base_url}/metrics")
+            )
+            state["metrics"] = metrics
+        except (URLError, OSError, ValueError) as exc:
+            state["error"] = f"cannot scrape {self.base_url}/metrics: {exc}"
+            return state
+        for key, path in (("slo", "/v1/admin/slo"), ("health", "/healthz")):
+            try:
+                state[key] = json.loads(_fetch(f"{self.base_url}{path}"))
+            except (URLError, OSError, ValueError):
+                state[key] = None  # endpoint absent or not ready: optional
+        return state
+
+    # -- rendering ---------------------------------------------------------
+
+    def _rates(
+        self, metrics: Dict[str, Dict[LabelKey, float]], elapsed: float
+    ) -> List[str]:
+        lines = []
+        codes = metrics.get("serve_http_requests_total", {})
+        if codes:
+            total_rate = 0.0
+            parts = []
+            for labels, value in sorted(codes.items()):
+                previous = 0.0
+                if self._previous is not None:
+                    previous = self._previous.get(
+                        "serve_http_requests_total", {}
+                    ).get(labels, 0.0)
+                rate = max(0.0, value - previous) / elapsed if elapsed else 0.0
+                total_rate += rate
+                code = dict(labels).get("code", "?")
+                parts.append(f"{code}:{rate:7.1f}/s")
+            lines.append(f"  http  {total_rate:8.1f} req/s   " + "  ".join(parts))
+        return lines
+
+    @staticmethod
+    def _slo_lines(slo: Optional[dict]) -> List[str]:
+        if not slo:
+            return ["  (no SLO tracker configured)"]
+        lines = []
+        for objective in ("availability", "latency"):
+            section = slo.get(objective)
+            if not isinstance(section, dict):
+                continue
+            windows = section.get("windows", {})
+            fast = windows.get("fast", {})
+            slow = windows.get("slow", {})
+            alert = section.get("alert", {})
+            marker = "FIRING" if alert.get("state") == "firing" else "clear "
+            lines.append(
+                f"  {objective:<13} burn fast {fast.get('burn_rate', 0):7.2f}"
+                f"  slow {slow.get('burn_rate', 0):7.2f}"
+                f"  good {fast.get('good_fraction', 1.0):.4f}"
+                f"  [{marker}]"
+            )
+        return lines
+
+    @staticmethod
+    def _gauge_lines(metrics: Dict[str, Dict[LabelKey, float]]) -> List[str]:
+        def scalar(name: str) -> float:
+            series = metrics.get(name, {})
+            return next(iter(series.values()), 0.0) if series else 0.0
+
+        rss_mib = scalar("process_resident_memory_bytes") / (1 << 20)
+        lines = [
+            f"  rss {rss_mib:8.1f} MiB   threads {scalar('process_threads'):3.0f}"
+            f"   generation {scalar('serve_snapshot_generation'):3.0f}"
+        ]
+        inflight = scalar("serve_admission_inflight")
+        queued = scalar("serve_admission_queue_depth")
+        shed = scalar("serve_admission_shed_total")
+        lines.append(
+            f"  admission  inflight {inflight:4.0f}  queued {queued:4.0f}"
+            f"  shed(total) {shed:6.0f}"
+        )
+        return lines
+
+    def render(self, state: Dict[str, object]) -> str:
+        """The dashboard for one polled *state*, as a printable string."""
+        at = state["at"]
+        lines = [
+            f"borges top — {self.base_url} — "
+            f"{time.strftime('%H:%M:%S', time.localtime(at))}"  # type: ignore[arg-type]
+        ]
+        if state.get("error"):
+            lines.append(f"  {state['error']}")
+            return "\n".join(lines) + "\n"
+        metrics = state["metrics"]  # type: ignore[assignment]
+        elapsed = (
+            at - self._previous_at if self._previous_at else 0.0
+        )  # type: ignore[operator]
+        health = state.get("health")
+        if isinstance(health, dict):
+            lines.append(
+                f"  status {health.get('status', '?')}"
+                f"   orgs {health.get('orgs', 0)}"
+                f"   asns {health.get('asns', 0)}"
+            )
+        lines.append("")
+        lines.append("rates")
+        lines.extend(
+            self._rates(metrics, elapsed)  # type: ignore[arg-type]
+            or ["  (no traffic yet)"]
+        )
+        lines.append("")
+        lines.append("slo")
+        lines.extend(self._slo_lines(state.get("slo")))  # type: ignore[arg-type]
+        lines.append("")
+        lines.append("process")
+        lines.extend(self._gauge_lines(metrics))  # type: ignore[arg-type]
+        self._previous = metrics  # type: ignore[assignment]
+        self._previous_at = at  # type: ignore[assignment]
+        return "\n".join(lines) + "\n"
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    interval: float = 2.0,
+    iterations: int = 0,
+    clear: bool = True,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Poll and render until interrupted (or *iterations* refreshes).
+
+    ``iterations=0`` means forever; tests pass a finite count and a
+    ``stream`` buffer.  Returns a process exit code.
+    """
+    out = stream if stream is not None else sys.stdout
+    view = TopView(f"http://{host}:{port}")
+    count = 0
+    try:
+        while True:
+            rendered = view.render(view.poll())
+            if clear:
+                out.write(CLEAR)
+            out.write(rendered)
+            out.flush()
+            count += 1
+            if iterations and count >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -1,0 +1,233 @@
+"""Trace context: W3C traceparent parsing, propagation, span identity."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    SPAN_ID_HEX_LENGTH,
+    TRACE_ID_HEX_LENGTH,
+    TraceContext,
+    current_trace_context,
+    ensure_trace_context,
+    generate_span_id,
+    generate_trace_id,
+    new_trace_context,
+    parse_traceparent,
+    reset_trace_context,
+    set_trace_context,
+    use_trace_context,
+)
+from repro.obs.tracer import Tracer
+
+VALID = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+
+class TestParseTraceparent:
+    def test_valid_header(self):
+        ctx = parse_traceparent(VALID)
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert ctx.span_id == "00f067aa0ba902b7"
+        assert ctx.flags == 1
+        assert ctx.sampled
+
+    def test_unsampled_flags(self):
+        ctx = parse_traceparent(VALID[:-2] + "00")
+        assert ctx is not None and not ctx.sampled
+
+    def test_round_trip(self):
+        ctx = new_trace_context()
+        assert parse_traceparent(ctx.to_traceparent()) == ctx
+
+    def test_surrounding_whitespace_tolerated(self):
+        assert parse_traceparent(f"  {VALID}  ") is not None
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-abc",  # too few fields
+            VALID.replace("00-", "f-", 1),  # version too short
+            VALID.replace("00-", "0x0-", 1),  # version not hex
+            VALID.replace("00-", "ff-", 1),  # version ff forbidden
+            VALID.replace("00-", "0A-", 1),  # uppercase version
+            VALID + "-extra",  # version 00 must have exactly 4 fields
+            VALID[:-1],  # flags too short
+            VALID[:-2] + "zz",  # flags not hex
+        ],
+    )
+    def test_malformed_version_and_flags(self, header):
+        assert parse_traceparent(header) is None
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            # short trace id
+            "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",
+            # short span id
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",
+            # uppercase hex in trace id (spec: lowercase only)
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+            # non-hex trace id
+            "00-" + "g" * 32 + "-00f067aa0ba902b7-01",
+        ],
+    )
+    def test_short_or_bad_ids(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_all_zero_trace_id_rejected(self):
+        header = f"00-{'0' * 32}-00f067aa0ba902b7-01"
+        assert parse_traceparent(header) is None
+
+    def test_all_zero_span_id_rejected(self):
+        header = f"00-4bf92f3577b34da6a3ce929d0e0e4736-{'0' * 16}-01"
+        assert parse_traceparent(header) is None
+
+    def test_future_version_accepted_with_extra_fields(self):
+        header = "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"
+        ctx = parse_traceparent(header)
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+
+
+class TestGeneration:
+    def test_id_shapes(self):
+        assert len(generate_trace_id()) == TRACE_ID_HEX_LENGTH
+        assert len(generate_span_id()) == SPAN_ID_HEX_LENGTH
+        assert generate_trace_id() != generate_trace_id()
+
+    def test_child_keeps_trace_new_span(self):
+        ctx = new_trace_context()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.flags == ctx.flags
+
+    def test_to_traceparent_format(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, flags=1)
+        assert ctx.to_traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+
+class TestContextvarPropagation:
+    def test_default_is_none(self):
+        assert current_trace_context() is None
+
+    def test_set_and_reset(self):
+        ctx = new_trace_context()
+        token = set_trace_context(ctx)
+        try:
+            assert current_trace_context() is ctx
+        finally:
+            reset_trace_context(token)
+        assert current_trace_context() is None
+
+    def test_use_trace_context_restores(self):
+        outer = new_trace_context()
+        with use_trace_context(outer):
+            with use_trace_context() as inner:
+                assert current_trace_context() is inner
+                assert inner.trace_id != outer.trace_id
+            assert current_trace_context() is outer
+        assert current_trace_context() is None
+
+    def test_ensure_creates_once(self):
+        with use_trace_context():
+            first = ensure_trace_context()
+            assert ensure_trace_context() is first
+
+    def test_new_thread_starts_empty(self):
+        seen = []
+        with use_trace_context():
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace_context())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestSpanTraceIdentity:
+    def test_root_span_adopts_ambient_context(self):
+        tracer = Tracer()
+        ctx = new_trace_context()
+        with use_trace_context(ctx):
+            with tracer.span("work") as span:
+                pass
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_span_id == ctx.span_id
+        assert len(span.span_id) == SPAN_ID_HEX_LENGTH
+
+    def test_root_span_mints_trace_without_context(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert len(span.trace_id) == TRACE_ID_HEX_LENGTH
+        assert span.parent_span_id == ""
+
+    def test_child_inherits_parent_identity(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == parent.trace_id
+        assert child.parent_span_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_span_to_dict_carries_ids(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        root = tracer.to_dicts()[0]
+        assert root["trace_id"]
+        assert root["span_id"]
+        assert "parent_span_id" not in root
+        child = root["children"][0]
+        assert child["trace_id"] == root["trace_id"]
+        assert child["parent_span_id"] == root["span_id"]
+
+
+class TestTracerThreadSafety:
+    def test_two_threads_trace_concurrently_without_interleaving(self):
+        """Regression: the active-span stack must be thread-local.
+
+        Two threads each open parent→child spans, synchronizing at a
+        barrier while both parents are open; with a shared stack one
+        thread's child would nest under the *other* thread's parent.
+        """
+        tracer = Tracer()
+        barrier = threading.Barrier(2, timeout=5.0)
+        errors = []
+
+        def trace(label: str) -> None:
+            try:
+                with tracer.span(f"parent.{label}") as parent:
+                    barrier.wait()  # both parents open on both threads
+                    with tracer.span(f"child.{label}") as child:
+                        barrier.wait()  # both children open concurrently
+                    assert child in parent.children
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=trace, args=(label,))
+            for label in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        roots = tracer.spans()
+        assert sorted(s.name for s in roots) == ["parent.a", "parent.b"]
+        for root in roots:
+            label = root.name.split(".")[1]
+            assert [c.name for c in root.children] == [f"child.{label}"]
+            assert root.children[0].trace_id == root.trace_id
+            assert root.children[0].parent_span_id == root.span_id

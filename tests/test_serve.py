@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -432,6 +433,178 @@ class TestHTTPAPI:
         with QueryServer(service) as srv:
             assert _get_error(f"{srv.url}/healthz")[0] == 503
             assert _get_error(f"{srv.url}/v1/asn/1")[0] == 503
+
+    def test_admin_endpoints_404_without_slo(self, server):
+        assert _get_error(f"{server.url}/v1/admin/slo")[0] == 404
+        assert _get_error(f"{server.url}/v1/admin/exemplars")[0] == 404
+
+
+# -- request-scoped observability over HTTP --------------------------------
+
+
+def _get_traced(url: str, traceparent: str = ""):
+    """GET returning (status, body, response-headers)."""
+    request = urllib.request.Request(url)
+    if traceparent:
+        request.add_header("traceparent", traceparent)
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.loads(response.read()), response.headers
+
+
+class TestObservabilityHTTP:
+    @pytest.fixture()
+    def server(self, borges_mapping, registry):
+        from repro.obs import EventLog, ExemplarStore, SLOTracker
+
+        slo = SLOTracker(registry=registry)
+        service = QueryService(
+            registry=registry,
+            slo=slo,
+            # threshold 0: every request becomes an exemplar
+            exemplars=ExemplarStore(threshold=0.0, capacity=16),
+            event_log=EventLog(),
+        )
+        service.store.load_from_mapping(borges_mapping)
+        with QueryServer(service) as srv:
+            yield srv
+
+    def test_traceparent_round_trips_to_response_header(self, server):
+        asn = server.service.store.current().index.asns()[0]
+        trace_id = "4bf92f3577b34da6a3ce929d0e0e4736"
+        header = f"00-{trace_id}-00f067aa0ba902b7-01"
+        status, _, headers = _get_traced(
+            f"{server.url}/v1/asn/{asn}", traceparent=header
+        )
+        assert status == 200
+        assert headers["x-borges-trace-id"] == trace_id
+
+    def test_fresh_trace_id_minted_when_absent(self, server):
+        status, _, headers = _get_traced(f"{server.url}/healthz")
+        assert status == 200
+        minted = headers["x-borges-trace-id"]
+        assert len(minted) == 32
+        assert minted != "0" * 32
+        assert minted == minted.lower()
+
+    def test_access_log_carries_the_trace_id(self, server):
+        asn = server.service.store.current().index.asns()[0]
+        trace_id = "aaaabbbbccccddddeeeeffff00001111"
+        _get_traced(
+            f"{server.url}/v1/asn/{asn}",
+            traceparent=f"00-{trace_id}-00f067aa0ba902b7-01",
+        )
+        # The access event lands after the response is written; wait out
+        # the handler thread's finally block.
+        mine: list = []
+        deadline = time.monotonic() + 5.0
+        while not mine and time.monotonic() < deadline:
+            events = server.service.event_log.events("http.access")
+            mine = [e for e in events if e.get("trace_id") == trace_id]
+            if not mine:
+                time.sleep(0.01)
+        assert len(mine) == 1
+        assert mine[0]["endpoint"] == "asn"
+        assert mine[0]["status"] == 200
+        assert mine[0]["admission"] == "admitted"
+
+    def test_admin_slo_endpoint(self, server):
+        asn = server.service.store.current().index.asns()[0]
+        _get_traced(f"{server.url}/v1/asn/{asn}")
+        status, body, _ = _get_traced(f"{server.url}/v1/admin/slo")
+        assert status == 200
+        assert body["availability"]["alert"]["state"] == "clear"
+        assert body["availability"]["windows"]["fast"]["total"] >= 1
+        # healthy traffic: /healthz carries the alert summary too
+        _, health, _ = _get_traced(f"{server.url}/healthz")
+        assert health["slo"] == {
+            "availability": "clear",
+            "latency": "clear",
+        }
+
+    def test_admin_exemplars_capture_span_trees(self, server):
+        asn = server.service.store.current().index.asns()[0]
+        trace_id = "1234567890abcdef1234567890abcdef"
+        _get_traced(
+            f"{server.url}/v1/asn/{asn}",
+            traceparent=f"00-{trace_id}-00f067aa0ba902b7-01",
+        )
+        status, body, _ = _get_traced(f"{server.url}/v1/admin/exemplars")
+        assert status == 200
+        mine = [e for e in body["exemplars"] if e["trace_id"] == trace_id]
+        assert len(mine) == 1
+        spans = mine[0]["spans"]
+        assert spans[0]["name"] == "http.asn"
+        assert spans[0]["trace_id"] == trace_id
+        assert body["stats"]["retained"] >= 1
+
+    def test_metrics_counts_its_own_scrapes(self, server, registry):
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as r:
+            first = r.read().decode()
+            assert r.headers["Content-Type"] == "text/plain; version=0.0.4"
+            assert r.headers["x-borges-trace-id"]
+        # the scrape counter is bumped before rendering, so the first
+        # exposition already reports itself
+        assert "serve_metrics_scrapes_total 1" in first
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as r:
+            second = r.read().decode()
+        assert "serve_metrics_scrapes_total 2" in second
+        assert "serve_metrics_render_seconds" in second
+
+    def test_stats_include_latency_summary_and_slo(self, server):
+        asn = server.service.store.current().index.asns()[0]
+        _get_traced(f"{server.url}/v1/asn/{asn}")
+        stats = server.service.stats()
+        assert "slo" in stats and "exemplars" in stats
+        summary = stats["latency_summary"]["asn"]
+        assert summary["count"] >= 1
+        assert summary["p50_us"] >= 0
+
+    def test_top_renders_against_live_server(self, server):
+        import io
+
+        from repro.serve import run_top
+
+        asn = server.service.store.current().index.asns()[0]
+        _get_traced(f"{server.url}/v1/asn/{asn}")
+        buffer = io.StringIO()
+        host, port = server.url.removeprefix("http://").split(":")
+        code = run_top(
+            host=host,
+            port=int(port),
+            interval=0.01,
+            iterations=2,
+            clear=False,
+            stream=buffer,
+        )
+        assert code == 0
+        rendered = buffer.getvalue()
+        assert "borges top" in rendered
+        assert "availability" in rendered
+        assert "rss" in rendered or "process" in rendered
+
+    def test_traced_loadgen_reports_slowest(self, borges_mapping, registry):
+        service = make_service(borges_mapping, registry)
+        gen = LoadGenerator(
+            service, service.store.current().index.asns(), seed=3
+        )
+        report = gen.run(100, trace=True)
+        assert report.slowest, "traced runs must report slowest traces"
+        assert len(report.slowest) <= 5
+        latencies = [entry["latency_ms"] for entry in report.slowest]
+        assert latencies == sorted(latencies, reverse=True)
+        for entry in report.slowest:
+            assert len(entry["trace_id"]) == 32
+            assert entry["op"]
+        assert "slowest" in report.to_json()
+
+    def test_untraced_loadgen_has_no_slowest(self, borges_mapping, registry):
+        service = make_service(borges_mapping, registry)
+        gen = LoadGenerator(
+            service, service.store.current().index.asns(), seed=3
+        )
+        report = gen.run(50)
+        assert report.slowest == []
+        assert "slowest" not in report.to_json()
 
 
 # -- CLI surface -----------------------------------------------------------
