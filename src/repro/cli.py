@@ -13,7 +13,11 @@ Subcommands:
 * ``serve`` — boot the HTTP query API over a mapping snapshot, with
   request tracing, SLO burn-rate alerting and an optional access log.
 * ``top`` — live terminal dashboard polling a running serve process.
-* ``query`` — one-shot in-process lookups against a snapshot.
+* ``query`` — one-shot in-process lookups against a snapshot, or (with
+  ``--host``/``--port``) against an already-running server.
+* ``watch`` — the continuous-operation daemon: re-derive the mapping on
+  a schedule, gate it against the active generation, archive it
+  immutably and hot-swap it into a co-hosted query server.
 """
 
 from __future__ import annotations
@@ -350,6 +354,115 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar=("A", "B"),
         help="are these two ASNs mapped to the same organization?",
+    )
+    query.add_argument(
+        "--host",
+        default=None,
+        help="query a running server at this address instead of loading "
+        "a snapshot in-process",
+    )
+    query.add_argument(
+        "--port", type=int, default=8642, help="server port (default 8642)"
+    )
+    query.add_argument(
+        "--gen",
+        type=int,
+        default=None,
+        metavar="N",
+        help="time-travel: answer ASN lookups from archived generation N "
+        "(requires --host; the server must run `borges watch`)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="continuously re-derive, gate, archive and serve the mapping",
+    )
+    watch.add_argument(
+        "--archive",
+        type=Path,
+        default=Path("watch-archive"),
+        metavar="DIR",
+        help="versioned snapshot archive directory (default watch-archive)",
+    )
+    watch.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run journal path (default: <archive>/journal.jsonl)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=60.0,
+        help="seconds between refresh cycles (default 60)",
+    )
+    watch.add_argument(
+        "--cycles",
+        type=int,
+        default=0,
+        help="stop after this many cycles (default 0 = run until Ctrl-C)",
+    )
+    watch.add_argument(
+        "--evolve",
+        action="store_true",
+        help="advance the universe seed every cycle so the dataset digest "
+        "changes (demo mode; without it an unchanged dataset is skipped)",
+    )
+    watch.add_argument(
+        "--run-on-unchanged",
+        action="store_true",
+        help="re-publish even when the dataset digest already published",
+    )
+    watch.add_argument("--host", default="127.0.0.1", help="bind address")
+    watch.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    watch.add_argument(
+        "--no-http",
+        action="store_true",
+        help="run the refresh loop without the co-hosted query server",
+    )
+    watch.add_argument(
+        "--max-org-shrink", type=float, default=0.20,
+        help="gate: max fractional org-count shrink (default 0.20)",
+    )
+    watch.add_argument(
+        "--max-org-growth", type=float, default=0.50,
+        help="gate: max fractional org-count growth (default 0.50)",
+    )
+    watch.add_argument(
+        "--max-coverage-drop", type=float, default=0.05,
+        help="gate: max fractional ASN-coverage drop (default 0.05)",
+    )
+    watch.add_argument(
+        "--max-churn", type=float, default=0.35,
+        help="gate: max fraction of common ASNs changing org (default 0.35)",
+    )
+    watch.add_argument(
+        "--min-precision", type=float, default=0.0,
+        help="gate: ground-truth pairwise-precision floor (default 0: off)",
+    )
+    watch.add_argument(
+        "--archive-max-entries", type=int, default=64,
+        help="archive retention: generations kept (default 64)",
+    )
+    watch.add_argument(
+        "--archive-max-bytes", type=int, default=0,
+        help="archive retention: total bytes kept (default 0 = unbounded)",
+    )
+    watch.add_argument(
+        "--free-bytes-floor", type=int, default=0,
+        help="refuse publishes when free disk falls below this (default 0)",
+    )
+    watch.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="halt the loop after this many failures in the restart "
+        "window (default 5); serving continues",
+    )
+    watch.add_argument(
+        "--restart-window", type=float, default=600.0,
+        help="restart-budget window in seconds (default 600)",
     )
     return parser
 
@@ -890,6 +1003,46 @@ def _cmd_top(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """``borges query --host``: the same lookups over a running server."""
+    import json as _json
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    base = f"http://{args.host}:{args.port}"
+    requests: list = []
+    gen_suffix = f"?gen={args.gen}" if args.gen is not None else ""
+    for asn in args.asns:
+        requests.append(f"/v1/asn/{asn}{gen_suffix}")
+    if args.org:
+        requests.append(f"/v1/org/{urllib.parse.quote(args.org)}")
+    if args.search:
+        requests.append(f"/v1/search?q={urllib.parse.quote(args.search)}")
+    if args.siblings:
+        a, b = args.siblings
+        requests.append(f"/v1/siblings?a={a}&b={b}")
+    status = 0
+    for path in requests:
+        try:
+            with urllib.request.urlopen(base + path, timeout=10.0) as response:
+                body = _json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            # The server answered: print its error body, flag the exit
+            # code, keep going — other lookups may still succeed.
+            try:
+                body = _json.loads(exc.read())
+            except ValueError:
+                body = {"error": f"HTTP {exc.code}"}
+            body["status"] = exc.code
+            status = 1
+        except (OSError, ValueError):
+            print(f"server unreachable at {args.host}:{args.port}")
+            return 1
+        print(_json.dumps(body, indent=2, sort_keys=True))
+    return status
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -897,6 +1050,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     if not (args.asns or args.org or args.search or args.siblings):
         print("error: nothing to query (pass ASNs, --org, --search or --siblings)")
+        return 2
+    if args.host is not None:
+        return _cmd_query_remote(args)
+    if args.gen is not None:
+        print("error: --gen needs --host (the archive lives with the server)")
         return 2
     service = _build_service(args)
     status = 0
@@ -920,6 +1078,129 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import dataclasses as _dataclasses
+
+    from .digest import dataset_digest, stable_digest
+    from .metrics.partition import score_partition
+    from .serve import QueryServer, QueryService
+    from .serve.store import SnapshotStore
+    from .watch import (
+        GateThresholds,
+        RunJournal,
+        SnapshotArchive,
+        WatchConfig,
+        WatchDaemon,
+        WatchRunResult,
+    )
+
+    registry = get_registry()
+    injector = _serve_injector(args)
+    config = _borges_config(args)
+    store = SnapshotStore(registry=registry, injector=injector)
+    archive = SnapshotArchive(
+        args.archive,
+        max_entries=args.archive_max_entries,
+        max_bytes=args.archive_max_bytes,
+        free_bytes_floor=args.free_bytes_floor,
+        registry=registry,
+        injector=injector,
+    )
+    journal_path = args.journal or args.archive / "journal.jsonl"
+    journal = RunJournal(journal_path)
+    store.attach_archive(archive)
+    service = QueryService(store=store, registry=registry, injector=injector)
+
+    cycle_seed = {"n": 0}
+
+    def runner() -> WatchRunResult:
+        seed = args.seed + (cycle_seed["n"] if args.evolve else 0)
+        cycle_seed["n"] += 1
+        universe_config = _universe_config(args)
+        if seed != universe_config.seed:
+            universe_config = _dataclasses.replace(universe_config, seed=seed)
+        universe = generate_universe(universe_config)
+        pipeline = BorgesPipeline(
+            universe.whois, universe.pdb, universe.web, config
+        )
+        result = pipeline.run()
+        precision = score_partition(
+            result.mapping.clusters(), universe.ground_truth.true_clusters()
+        ).pair_precision
+        digest = stable_digest(
+            [dataset_digest(universe.whois), dataset_digest(universe.pdb)]
+        )
+        return WatchRunResult(
+            mapping=result.mapping,
+            dataset_digest=digest,
+            label=f"seed={seed}",
+            whois=universe.whois,
+            pdb=universe.pdb,
+            precision=precision,
+        )
+
+    thresholds = GateThresholds(
+        max_org_shrink=args.max_org_shrink,
+        max_org_growth=args.max_org_growth,
+        max_coverage_drop=args.max_coverage_drop,
+        max_churn=args.max_churn,
+        min_precision=args.min_precision,
+    )
+    daemon = WatchDaemon(
+        store,
+        archive,
+        journal,
+        runner,
+        WatchConfig(
+            interval=args.interval,
+            max_cycles=args.cycles,
+            thresholds=thresholds,
+            max_restarts=args.max_restarts,
+            restart_window=args.restart_window,
+            run_on_unchanged=args.run_on_unchanged,
+        ),
+        registry=registry,
+        injector=injector,
+    )
+    service.attach_watch(daemon)
+    server = None
+    if not args.no_http:
+        server = QueryServer(service, host=args.host, port=args.port).start()
+        print(f"serving on {server.url}  (Ctrl-C to stop)")
+        print(f"  admin: curl {server.url}/v1/admin/watch")
+    print(
+        f"watch: every {args.interval:g}s"
+        + (f", {args.cycles} cycles" if args.cycles else "")
+        + f"; archive {args.archive} (keep {args.archive_max_entries}); "
+        f"journal {journal_path}"
+    )
+    try:
+        cycles = daemon.run()
+    except KeyboardInterrupt:
+        cycles = daemon.cycles
+    finally:
+        if server is not None:
+            server.stop()
+    print(
+        f"watch stopped after {cycles} cycles "
+        f"(last outcome: {daemon.last_outcome or 'none'})"
+    )
+    archive_stats = archive.stats()
+    print(
+        f"archive: {archive_stats['entries']} generations "
+        f"({archive_stats['oldest_generation']}.."
+        f"{archive_stats['newest_generation']}), "
+        f"{archive_stats['total_bytes']:,} bytes"
+    )
+    if daemon.halted:
+        print(
+            f"HALTED: {args.max_restarts} failures within "
+            f"{args.restart_window:g}s — last error: {daemon.last_error}"
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "run": _cmd_run,
@@ -932,6 +1213,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "top": _cmd_top,
     "query": _cmd_query,
+    "watch": _cmd_watch,
 }
 
 

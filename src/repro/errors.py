@@ -154,6 +154,85 @@ class RollbackUnavailableError(ServeError):
         super().__init__("no last-known-good generation to roll back to")
 
 
+class UnknownGenerationError(ServeError):
+    """A time-travel query named a generation the archive does not hold."""
+
+    def __init__(self, generation: int, reason: str = "") -> None:
+        detail = f"unknown snapshot generation: {generation}"
+        if reason:
+            detail += f" ({reason})"
+        super().__init__(detail)
+        self.generation = generation
+        self.reason = reason
+
+
+class WatchError(ReproError):
+    """Base class for continuous-operation (``borges watch``) failures."""
+
+
+class JournalIntegrityError(WatchError):
+    """The run journal's digest chain is broken mid-file.
+
+    A truncated *final* line is the expected crash artifact and is
+    tolerated by replay; a mid-file break means the journal was edited
+    or corrupted and resuming from it would be unsafe.
+    """
+
+    def __init__(self, path: str, seq: int, reason: str) -> None:
+        super().__init__(
+            f"journal integrity failure at entry {seq} in {path}: {reason}"
+        )
+        self.path = path
+        self.seq = seq
+        self.reason = reason
+
+
+class ArchiveError(WatchError):
+    """The versioned snapshot archive refused an operation."""
+
+
+class ArchiveImmutabilityError(ArchiveError):
+    """A write would have overwritten an existing archive generation."""
+
+    def __init__(self, generation: int, path: str) -> None:
+        super().__init__(
+            f"archive generation {generation} already exists at {path}; "
+            "archive entries are immutable"
+        )
+        self.generation = generation
+        self.path = path
+
+
+class DiskPressureError(ArchiveError):
+    """Free disk below the archive's floor even after pruning.
+
+    Retryable: the supervisor backs off and re-tries the publish once
+    retention (or an operator) has freed space.
+    """
+
+    retryable = True
+
+    def __init__(self, free_bytes: int, floor_bytes: int) -> None:
+        super().__init__(
+            f"disk pressure: {free_bytes} bytes free is below the "
+            f"{floor_bytes}-byte archive floor"
+        )
+        self.free_bytes = free_bytes
+        self.floor_bytes = floor_bytes
+
+
+class RestartBudgetExceededError(WatchError):
+    """The watch supervisor exhausted its crash-restart budget."""
+
+    def __init__(self, restarts: int, window_seconds: float) -> None:
+        super().__init__(
+            f"watch restart budget exhausted: {restarts} pipeline crashes "
+            f"within {window_seconds:.0f}s"
+        )
+        self.restarts = restarts
+        self.window_seconds = window_seconds
+
+
 class LLMError(ReproError):
     """Base class for LLM client/back-end failures."""
 

@@ -28,6 +28,7 @@ from .faults import (
     ENV_FAULT_PROFILE,
     PROFILES,
     SERVE_SURFACE,
+    WATCH_SURFACE,
     FaultInjector,
     FaultProfile,
     FaultyChatBackend,
@@ -48,6 +49,7 @@ __all__ = [
     "FaultyChatBackend",
     "FaultyWeb",
     "SERVE_SURFACE",
+    "WATCH_SURFACE",
     "corrupt_snapshot_text",
     "resolve_fault_profile",
     "RetryPolicy",

@@ -48,6 +48,7 @@ ENV_FAULT_PROFILE = "BORGES_FAULT_PROFILE"
 LLM_SURFACE = "llm"
 WEB_SURFACE = "web"
 SERVE_SURFACE = "serve"
+WATCH_SURFACE = "watch"
 
 #: Fraction of a truncated completion that survives.
 TRUNCATE_KEEP_FRACTION = 0.4
@@ -71,6 +72,9 @@ class FaultProfile:
     web_server_error: float = 0.0
     serve_slow_read: float = 0.0
     serve_corrupt_snapshot: float = 0.0
+    watch_slow_pipeline: float = 0.0
+    watch_publish_crash: float = 0.0
+    watch_disk_pressure: float = 0.0
     #: When a fault fires, it repeats for this many consecutive calls on
     #: the same surface (correlated outages, not independent coin flips).
     burst_length: int = 1
@@ -81,6 +85,9 @@ class FaultProfile:
     #: How long a serve-side ``slow_read`` fault stalls a request (the
     #: handler sleeps while holding its admission slot).
     slow_read_seconds: float = 0.002
+    #: How long a watch-side ``slow_pipeline`` fault stalls one refresh
+    #: cycle (the daemon sleeps mid-run, as a hung stage would).
+    slow_pipeline_seconds: float = 0.01
     #: Thundering-herd sizing hint for load generators: clients per
     #: admission slot released simultaneously (0 = not a herd profile).
     herd_multiplier: int = 0
@@ -95,6 +102,9 @@ class FaultProfile:
         "web_server_error",
         "serve_slow_read",
         "serve_corrupt_snapshot",
+        "watch_slow_pipeline",
+        "watch_publish_crash",
+        "watch_disk_pressure",
     )
 
     def validate(self) -> "FaultProfile":
@@ -177,6 +187,35 @@ PROFILES: Dict[str, FaultProfile] = {
             herd_multiplier=8,
             serve_slow_read=1.0,
             slow_read_seconds=0.005,
+        ),
+        FaultProfile(
+            name="slow-pipeline",
+            description=(
+                "every watch refresh cycle stalls mid-pipeline; the "
+                "supervisor must keep serving and the schedule must not "
+                "drift into overlapping runs"
+            ),
+            watch_slow_pipeline=1.0,
+            slow_pipeline_seconds=0.05,
+        ),
+        FaultProfile(
+            name="publish-crash",
+            description=(
+                "watch publishes crash between the archive write and the "
+                "swap; the journal must make the re-run resume instead of "
+                "double-publishing"
+            ),
+            watch_publish_crash=0.5,
+            max_consecutive=1,
+        ),
+        FaultProfile(
+            name="disk-pressure",
+            description=(
+                "every archive write sees a full disk; retention must "
+                "prune oldest-first and the daemon must back off without "
+                "taking down serving"
+            ),
+            watch_disk_pressure=1.0,
         ),
         FaultProfile(
             name="storm",

@@ -3,12 +3,16 @@
 A :class:`ThreadingHTTPServer` exposing the read API as JSON:
 
 ==========================  ===================================================
-``GET /v1/asn/{asn}``        one ASN's organization (404 unknown ASN)
+``GET /v1/asn/{asn}``        one ASN's organization (404 unknown ASN);
+                             ``?gen=N`` answers from archived generation N
 ``GET /v1/org/{id}``         one organization's members (404 unknown id)
 ``GET /v1/siblings``         ``?a=&b=`` verdict, or ``?asn=`` sibling list
 ``GET /v1/search``           ``?q=&limit=`` org-name search
+``GET /v1/diff``             ``?from=&to=`` orgs merged/split, ASNs moved
+                             between two archived generations
 ``POST /v1/batch``           ``{"asns": [...]}`` batched lookup
 ``POST /v1/admin/rollback``  restore the last-known-good generation
+``GET /v1/admin/watch``      the continuous-refresh daemon's posture
 ``GET /v1/admin/slo``        burn rates + alert state per objective
 ``GET /v1/admin/exemplars``  slow-request exemplars with span trees
 ``GET /healthz``             200 ok/degraded, 503 before the first snapshot
@@ -50,7 +54,9 @@ from ..errors import (
     NoSnapshotError,
     OverloadedError,
     RollbackUnavailableError,
+    SnapshotIntegrityError,
     UnknownASNError,
+    UnknownGenerationError,
     UnknownOrgError,
 )
 from ..logutil import get_logger
@@ -93,10 +99,14 @@ def _endpoint_for(path: str) -> str:
         return "siblings"
     if path == "/v1/search":
         return "search"
+    if path == "/v1/diff":
+        return "diff"
     if path == "/v1/batch":
         return "batch"
     if path == "/v1/admin/rollback":
         return "rollback"
+    if path == "/v1/admin/watch":
+        return "watch"
     if path == "/v1/admin/slo":
         return "slo"
     if path == "/v1/admin/exemplars":
@@ -235,13 +245,17 @@ def _make_handler(service: QueryService):
             try:
                 if method == "GET":
                     if path.startswith("/v1/asn/"):
-                        self._handle_asn(path[len("/v1/asn/"):])
+                        self._handle_asn(path[len("/v1/asn/"):], params)
                     elif path.startswith("/v1/org/"):
                         self._handle_org(path[len("/v1/org/"):])
                     elif path == "/v1/siblings":
                         self._handle_siblings(params)
                     elif path == "/v1/search":
                         self._handle_search(params)
+                    elif path == "/v1/diff":
+                        self._handle_diff(params)
+                    elif path == "/v1/admin/watch":
+                        self._handle_watch()
                     elif path == "/v1/admin/slo":
                         self._handle_slo()
                     elif path == "/v1/admin/exemplars":
@@ -381,16 +395,45 @@ def _make_handler(service: QueryService):
             except RollbackUnavailableError as exc:
                 self._send_error(409, str(exc))
 
-        def _handle_asn(self, raw: str) -> None:
+        def _handle_asn(self, raw: str, params: dict) -> None:
             try:
                 asn = int(raw)
             except ValueError:
                 self._send_error(400, f"not an ASN: {raw!r}")
                 return
+            gen = self._int_param(params, "gen")
             try:
-                self._send_json(200, service.lookup_asn(asn))
+                self._send_json(200, service.lookup_asn(asn, gen=gen))
             except UnknownASNError:
                 self._send_error(404, f"unknown ASN {asn}")
+            except UnknownGenerationError as exc:
+                self._send_error(404, str(exc))
+            except SnapshotIntegrityError as exc:
+                # A corrupt archive entry has just been quarantined; the
+                # generation is gone, which is a 404, not an outage.
+                self._send_error(404, f"generation unreadable: {exc}")
+
+        def _handle_diff(self, params: dict) -> None:
+            from_gen = self._int_param(params, "from")
+            to_gen = self._int_param(params, "to")
+            if from_gen is None or to_gen is None:
+                self._send_error(400, "need ?from=&to= generation numbers")
+                return
+            try:
+                self._send_json(
+                    200, service.generation_diff(from_gen, to_gen)
+                )
+            except UnknownGenerationError as exc:
+                self._send_error(404, str(exc))
+            except SnapshotIntegrityError as exc:
+                self._send_error(404, f"generation unreadable: {exc}")
+
+        def _handle_watch(self) -> None:
+            status = service.watch_status()
+            if status is None:
+                self._send_error(404, "no watch daemon attached")
+                return
+            self._send_json(200, status)
 
         def _handle_org(self, org_id: str) -> None:
             if not org_id:

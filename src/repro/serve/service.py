@@ -31,7 +31,9 @@ from ..errors import (
     DeadlineExceededError,
     NoSnapshotError,
     OverloadedError,
+    SnapshotIntegrityError,
     UnknownASNError,
+    UnknownGenerationError,
     UnknownOrgError,
 )
 from ..obs import DEFAULT_LOOKUP_BUCKETS, get_registry
@@ -42,7 +44,7 @@ from .admission import AdmissionController
 from .store import SnapshotStore
 
 #: The endpoints the service meters; the HTTP layer maps routes onto them.
-ENDPOINTS = ("asn", "org", "siblings", "search", "batch")
+ENDPOINTS = ("asn", "org", "siblings", "search", "batch", "diff")
 
 #: Per-endpoint request statuses tracked in ``serve_requests_total``.
 STATUSES = ("ok", "not_found", "unavailable", "shed", "deadline")
@@ -111,6 +113,7 @@ class QueryService:
             registry=self.registry, injector=injector
         )
         self._cache = _ResponseLRU(cache_size)
+        self._watch = None
         # Pre-resolved metric children: one registry round-trip at init
         # instead of one (lock + label sort) per request.
         self._latency = {
@@ -202,8 +205,14 @@ class QueryService:
 
     # -- endpoints ---------------------------------------------------------
 
-    def lookup_asn(self, asn: ASN) -> dict:
-        """Resolve one ASN to its organization (the hot path)."""
+    def lookup_asn(self, asn: ASN, gen: Optional[int] = None) -> dict:
+        """Resolve one ASN to its organization (the hot path).
+
+        With *gen*, answer from archived generation *gen* instead of the
+        active snapshot (time-travel; lazily loaded, LRU-bounded).
+        """
+        if gen is not None:
+            return self._lookup_asn_at(asn, gen)
         started = time.perf_counter()
         with self._admit("asn"):
             try:
@@ -346,7 +355,93 @@ class QueryService:
                 self._finish("search", "unavailable", started)
                 raise
 
+    # -- time travel -------------------------------------------------------
+
+    def _lookup_asn_at(self, asn: ASN, gen: int) -> dict:
+        """``/v1/asn?gen=N``: answer from an archived generation.
+
+        Archive entries are immutable, so responses cache under the
+        archive-generation key forever — a hot-swap never invalidates
+        them and never needs to.
+        """
+        started = time.perf_counter()
+        with self._admit("asn"):
+            try:
+                key = ("archive", gen, "asn", asn)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache_hits.inc()
+                    self._finish("asn", "ok", started)
+                    return cached
+                index = self.store.generation_index(gen)
+                try:
+                    record = index.lookup_asn(asn)
+                except UnknownASNError:
+                    self._finish("asn", "not_found", started)
+                    raise
+                response = record.to_json()
+                response["generation"] = gen
+                response["archived"] = True
+                self._cache.put(key, response)
+                self._finish("asn", "ok", started)
+                return response
+            except (UnknownGenerationError, SnapshotIntegrityError):
+                # Unknown and corrupt-then-quarantined generations are
+                # both "that release is not servable" — a client error,
+                # not an outage.
+                self._finish("asn", "not_found", started)
+                raise
+            except NoSnapshotError:
+                self._finish("asn", "unavailable", started)
+                raise
+
+    def generation_diff(self, from_gen: int, to_gen: int) -> dict:
+        """``/v1/diff?from=&to=``: orgs merged/split, ASNs moved.
+
+        Both endpoints of the diff come from the immutable archive, so
+        the response is cached under the (from, to) pair permanently.
+        """
+        from ..watch.diff import diff_indexes
+
+        started = time.perf_counter()
+        with self._admit("diff"):
+            try:
+                key = ("archive-diff", from_gen, to_gen)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache_hits.inc()
+                    self._finish("diff", "ok", started)
+                    return cached
+                old = self.store.generation_index(from_gen)
+                new = self.store.generation_index(to_gen)
+                diff = diff_indexes(old, new)
+                response: Dict[str, object] = {
+                    "from": from_gen,
+                    "to": to_gen,
+                }
+                response.update(diff.to_json())
+                self._cache.put(key, response)
+                self._finish("diff", "ok", started)
+                return response
+            except (UnknownGenerationError, SnapshotIntegrityError):
+                self._finish("diff", "not_found", started)
+                raise
+            except NoSnapshotError:
+                self._finish("diff", "unavailable", started)
+                raise
+
     # -- admin -------------------------------------------------------------
+
+    def attach_watch(self, daemon) -> None:
+        """Expose *daemon* (a :class:`~repro.watch.WatchDaemon`) on
+        ``/v1/admin/watch`` and in health/stats bodies."""
+        self._watch = daemon
+
+    def watch_status(self) -> Optional[dict]:
+        """The attached watch daemon's status, or ``None`` if detached."""
+        if self._watch is None:
+            return None
+        return self._watch.status()
 
     def rollback(self) -> dict:
         """Restore the last-known-good generation (admin surface).
@@ -377,7 +472,19 @@ class QueryService:
             "orgs": len(snapshot.index),
             "asns": snapshot.index.asn_count,
             "rollback_generations": len(self.store.history()),
+            "stale": self.store.stale,
+            "swap_failures": self.store.swap_failures,
+            "rollback_count": self.store.rollback_count,
         }
+        if self.store.last_swap_error:
+            body["last_swap_error"] = self.store.last_swap_error
+        if self._watch is not None:
+            watch = self._watch.status()
+            body["watch"] = {
+                "running": watch.get("running", False),
+                "halted": watch.get("halted", False),
+                "consecutive_failures": watch.get("consecutive_failures", 0),
+            }
         if self.admission is not None:
             body["admission"] = self.admission.occupancy()
         if self.slo is not None:
@@ -415,4 +522,6 @@ class QueryService:
             out["slo"] = self.slo.snapshot()
         if self.exemplars is not None:
             out["exemplars"] = self.exemplars.stats()
+        if self._watch is not None:
+            out["watch"] = self._watch.status()
         return out

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -59,6 +60,10 @@ QUARANTINE_SUFFIX = ".quarantined"
 #: Last-known-good generations retained for :meth:`SnapshotStore.rollback`.
 DEFAULT_HISTORY_LIMIT = 3
 
+#: Historical archive generations kept decoded in memory for time-travel
+#: queries (each one is a full MappingIndex — keep this small).
+DEFAULT_ARCHIVE_CACHE = 4
+
 
 @dataclass
 class Snapshot:
@@ -68,6 +73,10 @@ class Snapshot:
     generation: int
     source: str
     label: str
+    #: The immutable archive entry this generation was published as by
+    #: the watch daemon (0 when the generation never touched the
+    #: archive — CLI one-shots, direct file loads).
+    archive_generation: int = 0
     _readers: int = field(default=0, repr=False)
     _drained: threading.Event = field(
         default_factory=threading.Event, repr=False
@@ -76,6 +85,7 @@ class Snapshot:
     def describe(self) -> Dict[str, object]:
         return {
             "generation": self.generation,
+            "archive_generation": self.archive_generation,
             "source": self.source,
             "label": self.label,
             **self.index.stats(),
@@ -117,6 +127,17 @@ class SnapshotStore:
         #: True when the last swap attempt failed and an older generation
         #: is still being served (the degraded/stale read path).
         self.stale = False
+        #: Degradation accounting an operator reads off /healthz and
+        #: ``borges top``: how many swaps failed, what the last failure
+        #: said, and how many rollbacks this process has performed.
+        self.swap_failures = 0
+        self.last_swap_error = ""
+        self.rollback_count = 0
+        #: Optional time-travel source: an attached SnapshotArchive plus
+        #: a small LRU of lazily-loaded historical generations.
+        self._archive = None
+        self._archive_cache: "OrderedDict[int, MappingIndex]" = OrderedDict()
+        self._archive_cache_limit = DEFAULT_ARCHIVE_CACHE
 
     # -- reader side -------------------------------------------------------
 
@@ -146,9 +167,21 @@ class SnapshotStore:
 
     # -- writer side -------------------------------------------------------
 
-    def swap(self, index: MappingIndex, source: str, label: str) -> Snapshot:
+    def swap(
+        self,
+        index: MappingIndex,
+        source: str,
+        label: str,
+        archive_generation: int = 0,
+    ) -> Snapshot:
         """Install *index* as the active generation; returns the snapshot."""
-        return self._install(index, source, label, remember_previous=True)
+        return self._install(
+            index,
+            source,
+            label,
+            remember_previous=True,
+            archive_generation=archive_generation,
+        )
 
     def _install(
         self,
@@ -156,6 +189,7 @@ class SnapshotStore:
         source: str,
         label: str,
         remember_previous: bool,
+        archive_generation: int = 0,
     ) -> Snapshot:
         with self._lock:
             snapshot = Snapshot(
@@ -163,6 +197,7 @@ class SnapshotStore:
                 generation=self._next_generation,
                 source=source,
                 label=label,
+                archive_generation=archive_generation,
             )
             self._next_generation += 1
             previous = self._active
@@ -219,7 +254,10 @@ class SnapshotStore:
                 f"({restored.source}: {restored.label})"
             ),
             remember_previous=False,
+            archive_generation=restored.archive_generation,
         )
+        with self._lock:
+            self.rollback_count += 1
         self._registry.counter(
             "serve_snapshot_rollbacks_total",
             "Generations restored from last-known-good history",
@@ -251,6 +289,8 @@ class SnapshotStore:
         except (ReproError, OSError, ValueError, KeyError) as exc:
             with self._lock:
                 self.stale = self._active is not None
+                self.swap_failures += 1
+                self.last_swap_error = f"{type(exc).__name__}: {exc}"
             self._registry.counter(
                 "serve_snapshot_swap_failures_total",
                 "Snapshot loads that failed (old generation kept)",
@@ -472,6 +512,64 @@ class SnapshotStore:
             index, source="artifact", label=f"merge:{fingerprint[:12]}"
         )
 
+    # -- time-travel -------------------------------------------------------
+
+    def attach_archive(self, archive) -> None:
+        """Attach a :class:`~repro.watch.archive.SnapshotArchive`.
+
+        Enables :meth:`generation_index` — answering queries from
+        historical generations (``/v1/asn?gen=N``) and generation diffs
+        (``/v1/diff``).  The archive is read lazily; at most
+        ``DEFAULT_ARCHIVE_CACHE`` decoded historical indexes stay in
+        memory, LRU-evicted.
+        """
+        self._archive = archive
+
+    @property
+    def archive(self):
+        return self._archive
+
+    def generation_index(self, archive_generation: int) -> MappingIndex:
+        """The index for one archive generation (active or historical).
+
+        The active snapshot answers its own archive generation without
+        touching disk; anything else is loaded from the attached
+        archive — digest-verified — and cached in a bounded LRU.
+        Raises :class:`~repro.errors.UnknownGenerationError` when no
+        archive is attached or the generation is not in it.
+        """
+        from ..errors import UnknownGenerationError
+
+        active = self._active
+        if (
+            active is not None
+            and active.archive_generation == archive_generation
+            and archive_generation > 0
+        ):
+            return active.index
+        if self._archive is None:
+            raise UnknownGenerationError(
+                archive_generation, "no snapshot archive attached"
+            )
+        with self._lock:
+            cached = self._archive_cache.get(archive_generation)
+            if cached is not None:
+                self._archive_cache.move_to_end(archive_generation)
+                return cached
+        # Decode outside the lock — archive reads are milliseconds-scale
+        # and must not stall the swap path.
+        mapping = self._archive.read_mapping(archive_generation)
+        index = MappingIndex.build(mapping)
+        with self._lock:
+            self._archive_cache[archive_generation] = index
+            while len(self._archive_cache) > self._archive_cache_limit:
+                self._archive_cache.popitem(last=False)
+        self._registry.counter(
+            "serve_timetravel_loads_total",
+            "Historical generations decoded from the archive",
+        ).inc()
+        return index
+
     # -- accounting --------------------------------------------------------
 
     def history(self) -> List[Dict[str, object]]:
@@ -484,10 +582,15 @@ class SnapshotStore:
             active = self._active
             retiring = len(self._retiring)
             history = len(self._history)
+            archive_cached = len(self._archive_cache)
         out: Dict[str, object] = {
             "stale": self.stale,
+            "swap_failures": self.swap_failures,
+            "last_swap_error": self.last_swap_error,
+            "rollback_count": self.rollback_count,
             "retiring_generations": retiring,
             "history_depth": history,
+            "timetravel_cached": archive_cached,
         }
         if active is not None:
             out["active"] = active.describe()

@@ -178,6 +178,29 @@ class TopView:
                 f"   orgs {health.get('orgs', 0)}"
                 f"   asns {health.get('asns', 0)}"
             )
+            # Swap-health posture: a stale/degraded snapshot and how we
+            # got here (failed swaps, rollbacks walked).
+            flags = []
+            if health.get("stale"):
+                flags.append("STALE")
+            if health.get("swap_failures"):
+                flags.append(f"swap-failures {health['swap_failures']:.0f}")
+            if health.get("rollback_count"):
+                flags.append(f"rollbacks {health['rollback_count']:.0f}")
+            flags.append(
+                f"rollback-depth {health.get('rollback_generations', 0):.0f}"
+            )
+            lines.append("  swaps  " + "  ".join(flags))
+            watch = health.get("watch")
+            if isinstance(watch, dict):
+                posture = "HALTED" if watch.get("halted") else (
+                    "running" if watch.get("running") else "stopped"
+                )
+                lines.append(
+                    f"  watch  {posture}"
+                    f"   consecutive-failures "
+                    f"{watch.get('consecutive_failures', 0):.0f}"
+                )
         lines.append("")
         lines.append("rates")
         lines.extend(
@@ -206,14 +229,22 @@ def run_top(
     """Poll and render until interrupted (or *iterations* refreshes).
 
     ``iterations=0`` means forever; tests pass a finite count and a
-    ``stream`` buffer.  Returns a process exit code.
+    ``stream`` buffer.  Returns a process exit code: 1 when the first
+    poll cannot reach the server at all (one-line diagnosis, no
+    dashboard), 0 otherwise.  Scrape failures *after* a successful first
+    poll render inline instead — a restarting server is worth watching.
     """
     out = stream if stream is not None else sys.stdout
     view = TopView(f"http://{host}:{port}")
     count = 0
     try:
         while True:
-            rendered = view.render(view.poll())
+            state = view.poll()
+            if count == 0 and state.get("error"):
+                out.write(f"server unreachable at {host}:{port}\n")
+                out.flush()
+                return 1
+            rendered = view.render(state)
             if clear:
                 out.write(CLEAR)
             out.write(rendered)

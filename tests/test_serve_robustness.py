@@ -736,3 +736,137 @@ class TestRobustnessCLI:
             capsys.readouterr()
             assert main(["query", "--snapshot", str(out), "--search", "a"]) == 0
         assert '"results"' in capsys.readouterr().out
+
+
+# -- drain / rollback depth (continuous-operation satellites) --------------
+
+
+class TestDrainWithStuckLease:
+    def test_drain_times_out_on_a_held_lease_then_retires_it(
+        self, loaded_store, borges_mapping, universe
+    ):
+        lease = loaded_store.acquire()
+        try:
+            loaded_store.load_from_mapping(
+                borges_mapping, whois=universe.whois, label="gen2"
+            )
+            # The stuck reader pins generation 1 on the retiring list:
+            # drain must give up at its timeout, not block forever.
+            started = time.monotonic()
+            assert loaded_store.drain(timeout=0.05) == 0
+            assert time.monotonic() - started < 2.0
+            assert loaded_store.stats()["retiring_generations"] == 1
+        finally:
+            lease.__exit__(None, None, None)
+        assert loaded_store.drain(timeout=1.0) == 1
+        assert loaded_store.stats()["retiring_generations"] == 0
+
+    def test_released_before_swap_never_hits_the_retiring_list(
+        self, loaded_store, borges_mapping, universe
+    ):
+        with loaded_store.acquire() as snapshot:
+            assert snapshot.generation == 1
+        loaded_store.load_from_mapping(
+            borges_mapping, whois=universe.whois, label="gen2"
+        )
+        assert loaded_store.stats()["retiring_generations"] == 0
+
+
+class TestRollbackWalksPastQuarantinedGenerations:
+    def test_repeated_rollbacks_walk_deeper_not_ping_pong(
+        self, store, tmp_path, borges_mapping, universe
+    ):
+        for label in ("gen1", "gen2", "gen3"):
+            store.load_from_mapping(
+                borges_mapping, whois=universe.whois, label=label
+            )
+        # Two corrupt refreshes in a row: each fails closed, quarantines
+        # its input file, and leaves the store serving-but-stale.
+        for n in range(2):
+            bad = tmp_path / f"bad{n}.json"
+            bad.write_text("{definitely not json", encoding="utf-8")
+            assert (
+                store.try_swap(
+                    lambda path=bad: store.load_from_mapping_file(path)
+                )
+                is None
+            )
+            assert bad.with_name(bad.name + QUARANTINE_SUFFIX).exists()
+        assert store.stale
+        assert store.swap_failures == 2
+
+        first = store.rollback()
+        assert "gen2" in first.label
+        assert store.stale is False  # a successful install clears staleness
+        second = store.rollback()
+        assert "gen1" in second.label  # deeper, not back to gen3
+        assert store.rollback_count == 2
+        with pytest.raises(RollbackUnavailableError):
+            store.rollback()
+
+    def test_health_reports_rollback_depth_and_count(
+        self, registry, borges_mapping, universe
+    ):
+        service = QueryService(registry=registry)
+        for label in ("gen1", "gen2"):
+            service.store.load_from_mapping(
+                borges_mapping, whois=universe.whois, label=label
+            )
+        ready, body = service.health()
+        assert ready
+        assert body["rollback_generations"] == 1
+        assert body["rollback_count"] == 0
+        service.rollback()
+        ready, body = service.health()
+        assert body["rollback_count"] == 1
+        assert body["rollback_generations"] == 0
+
+
+# -- unreachable-server UX (query / top) -----------------------------------
+
+
+class TestUnreachableServerUX:
+    def test_remote_query_prints_one_line_not_a_traceback(self, capsys):
+        from repro.cli import main
+
+        status = main(
+            ["query", "64500", "--host", "127.0.0.1", "--port", "1"]
+        )
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "server unreachable at 127.0.0.1:1" in out
+        assert "Traceback" not in out
+
+    def test_query_gen_requires_host(self, capsys):
+        from repro.cli import main
+
+        status = main(["query", "64500", "--gen", "2"])
+        assert status == 2
+        assert "--gen needs --host" in capsys.readouterr().out
+
+    def test_top_exits_nonzero_with_one_line_diagnosis(self):
+        import io
+
+        from repro.serve.top import run_top
+
+        buffer = io.StringIO()
+        status = run_top(
+            host="127.0.0.1", port=1, iterations=1, clear=False, stream=buffer
+        )
+        assert status == 1
+        assert buffer.getvalue() == "server unreachable at 127.0.0.1:1\n"
+
+    def test_top_renders_watch_and_swap_posture(
+        self, registry, borges_mapping, universe
+    ):
+        from repro.serve.top import TopView
+
+        service = QueryService(registry=registry)
+        service.store.load_from_mapping(
+            borges_mapping, whois=universe.whois, label="gen1"
+        )
+        with QueryServer(service) as server:
+            view = TopView(f"http://{server.host}:{server.port}")
+            rendered = view.render(view.poll())
+        assert "swaps" in rendered
+        assert "rollback-depth 0" in rendered
