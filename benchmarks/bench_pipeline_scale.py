@@ -3,13 +3,30 @@
 These are genuine performance measurements (multiple rounds) of the
 system's hot paths: generating a universe, running the full pipeline,
 scraping/resolving, and computing θ over large size vectors.
+
+Besides the pytest-benchmark tests, this module is an executable scale
+runner (``python benchmarks/bench_pipeline_scale.py``) that sweeps a
+10k→1M-ASN curve: for each point it measures streamed generation,
+full materialization, and the sharded pipeline — each in a *fresh
+subprocess*, because ``ru_maxrss`` is a monotonic high-water mark per
+process and reusing one would hide every later point's real footprint.
+The run writes a JSON report and asserts the streaming contract: at
+the largest point, streamed generation's peak RSS must be well below
+full materialization's (``--min-rss-ratio``, default 2x).
 """
 
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
-from repro.config import UniverseConfig
+from repro.config import BorgesConfig, UniverseConfig
 from repro.core import ArtifactStore, BorgesPipeline
 from repro.metrics.org_factor import org_factor
 from repro.universe import generate_universe
@@ -93,3 +110,222 @@ def test_bench_asrank(benchmark, small_universe):
 
     rank = benchmark(lambda: compute_rank(small_universe.topology))
     assert len(rank) == len(small_universe.topology)
+
+
+# -- scale-curve runner (CLI, not collected by pytest) ----------------------
+
+#: Default sweep: target ASN counts from 10k to 1M.
+DEFAULT_POINTS = (10_000, 30_000, 100_000, 300_000, 1_000_000)
+
+#: Marginal ASNs per organization under the default universe config
+#: (empirical; each point reports its *actual* ASN count, so this only
+#: has to land the sweep near its targets, not hit them).
+_ASNS_PER_ORG = 1.47
+_CANONICAL_ASNS = 500
+
+
+def _orgs_for_target(target_asns: int) -> int:
+    return max(60, int((target_asns - _CANONICAL_ASNS) / _ASNS_PER_ORG))
+
+
+def _peak_rss_bytes() -> int:
+    from repro.obs import peak_rss_bytes
+
+    return peak_rss_bytes()
+
+
+def _child_gen_full(config: UniverseConfig) -> dict:
+    start = time.perf_counter()
+    universe = generate_universe(config)
+    return {
+        "asns": len(universe.whois),
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def _child_gen_stream(config: UniverseConfig) -> dict:
+    from repro.universe import export_universe_streaming
+
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as out:
+        summary = export_universe_streaming(config, out)
+    return {
+        "asns": summary["asns"],
+        "chunks": summary["chunks"],
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def _child_pipeline(config: UniverseConfig, n_shards: int) -> dict:
+    from repro.core import run_sharded
+
+    gen_start = time.perf_counter()
+    universe = generate_universe(config)
+    gen_seconds = time.perf_counter() - gen_start
+    run_start = time.perf_counter()
+    result = run_sharded(
+        universe.whois,
+        universe.pdb,
+        universe.web,
+        BorgesConfig(),
+        n_shards=n_shards,
+    )
+    return {
+        "asns": len(universe.whois),
+        "orgs_mapped": len(result.mapping),
+        "degraded": result.degraded,
+        "generate_seconds": round(gen_seconds, 3),
+        "pipeline_seconds": round(time.perf_counter() - run_start, 3),
+        "partition": result.diagnostics["partition"],
+        "shard_timings": [
+            {
+                "shard": entry["shard"],
+                "asns": entry["asns"],
+                "duration_seconds": entry["duration_seconds"],
+            }
+            for entry in result.diagnostics["shards"]
+        ],
+    }
+
+
+def _run_child(args: argparse.Namespace) -> int:
+    config = UniverseConfig(seed=args.seed, n_organizations=args.orgs)
+    if args.child == "gen-full":
+        payload = _child_gen_full(config)
+    elif args.child == "gen-stream":
+        payload = _child_gen_stream(config)
+    elif args.child == "pipeline":
+        payload = _child_pipeline(config, args.shards)
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown child mode {args.child}")
+    payload["mode"] = args.child
+    payload["orgs"] = args.orgs
+    payload["peak_rss_bytes"] = _peak_rss_bytes()
+    print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
+def _spawn(mode: str, orgs: int, seed: int, shards: int) -> dict:
+    """Run one measurement in a fresh subprocess and parse its JSON."""
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--child", mode,
+            "--orgs", str(orgs),
+            "--seed", str(seed),
+            "--shards", str(shards),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{mode} child failed (orgs={orgs}):\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Borges scale curve: generation + sharded pipeline"
+    )
+    parser.add_argument("--child", choices=["gen-full", "gen-stream", "pipeline"])
+    parser.add_argument("--orgs", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--max-asns",
+        type=int,
+        default=DEFAULT_POINTS[-1],
+        help="largest curve point to run (default 1M ASNs)",
+    )
+    parser.add_argument(
+        "--pipeline-max-asns",
+        type=int,
+        default=None,
+        help="largest point that also runs the sharded pipeline "
+        "(default: same as --max-asns)",
+    )
+    parser.add_argument(
+        "--min-rss-ratio",
+        type=float,
+        default=2.0,
+        help="full-materialization / streamed peak-RSS ratio the largest "
+        "point must reach (default 2.0)",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=Path("scale_curve_report.json"),
+        help="JSON report path",
+    )
+    args = parser.parse_args(argv)
+    if args.child:
+        return _run_child(args)
+
+    pipeline_cap = (
+        args.pipeline_max_asns
+        if args.pipeline_max_asns is not None
+        else args.max_asns
+    )
+    points = [p for p in DEFAULT_POINTS if p <= args.max_asns]
+    report = {
+        "seed": args.seed,
+        "shards": args.shards,
+        "points": [],
+    }
+    for target in points:
+        orgs = _orgs_for_target(target)
+        entry = {"target_asns": target, "orgs": orgs}
+        for mode in ("gen-stream", "gen-full"):
+            result = _spawn(mode, orgs, args.seed, args.shards)
+            entry[mode] = result
+            print(
+                f"[{target:>9,}] {mode:<10} {result['seconds']:>8.1f}s  "
+                f"peak rss {result['peak_rss_bytes'] / (1 << 20):>8.0f} MiB  "
+                f"({result['asns']:,} ASNs)"
+            )
+        if target <= pipeline_cap:
+            result = _spawn("pipeline", orgs, args.seed, args.shards)
+            entry["pipeline"] = result
+            print(
+                f"[{target:>9,}] {'pipeline':<10} "
+                f"{result['pipeline_seconds']:>8.1f}s  "
+                f"peak rss {result['peak_rss_bytes'] / (1 << 20):>8.0f} MiB  "
+                f"({result['orgs_mapped']:,} orgs mapped, "
+                f"{args.shards} shards)"
+            )
+        report["points"].append(entry)
+
+    largest = report["points"][-1]
+    ratio = (
+        largest["gen-full"]["peak_rss_bytes"]
+        / max(1, largest["gen-stream"]["peak_rss_bytes"])
+    )
+    report["rss_ratio_at_largest_point"] = round(ratio, 2)
+    report["min_rss_ratio"] = args.min_rss_ratio
+    args.report.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"report written to {args.report}")
+    print(
+        f"streamed-vs-full peak RSS at {largest['target_asns']:,} ASNs: "
+        f"{ratio:.1f}x smaller"
+    )
+    if ratio < args.min_rss_ratio:
+        print(
+            f"FAIL: streamed generation only {ratio:.2f}x below full "
+            f"materialization (required {args.min_rss_ratio}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI scale smoke: a 100k-ASN sharded run must be exact and bounded.
+
+Runs ``borges run`` twice over the same ~100k-ASN universe — once with
+``--shards 4`` and once with ``--shards 1`` — each in a fresh
+subprocess (``ru_maxrss`` is a per-process high-water mark), then
+asserts:
+
+* the two saved mappings are **byte-identical** — sharding is an
+  execution strategy, never a result change;
+* neither run degraded;
+* the sharded run's peak RSS (read from the telemetry manifest's
+  ``process_peak_rss_bytes`` gauge) stays under a ceiling.
+
+Run from the repository root::
+
+    python scripts/scale_smoke.py
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ~100k ASNs under the default universe config.
+DEFAULT_ORGS = 67_700
+
+#: Peak-RSS ceiling for the sharded run.  Measured ~0.6 GiB at 100k
+#: ASNs; 3 GiB leaves headroom for allocator noise without letting an
+#: accidental full-universe copy (≫1 GiB at this scale) slip through.
+DEFAULT_RSS_CEILING_GIB = 3.0
+
+
+def run_borges(label: str, tmp: Path, orgs: int, shards: int) -> dict:
+    mapping = tmp / f"mapping-{label}.json"
+    manifest = tmp / f"manifest-{label}.json"
+    cmd = [
+        sys.executable, "-m", "repro.cli",
+        "--telemetry-out", str(manifest),
+        "--seed", "11",
+        "--orgs", str(orgs),
+        "run",
+        "--shards", str(shards),
+        "--save-mapping", str(mapping),
+    ]
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    start = time.perf_counter()
+    proc = subprocess.run(
+        cmd, cwd=ROOT, env=env, capture_output=True, text=True
+    )
+    seconds = time.perf_counter() - start
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"{label}: borges run failed ({proc.returncode})")
+    if "DEGRADED" in proc.stdout:
+        print(proc.stdout)
+        raise SystemExit(f"{label}: run degraded")
+    payload = json.loads(manifest.read_text())
+    series = (
+        payload.get("metrics", {})
+        .get("process_peak_rss_bytes", {})
+        .get("series", [])
+    )
+    peak_rss = max((entry.get("value", 0) for entry in series), default=0)
+    print(
+        f"{label}: {seconds:,.1f}s, peak rss "
+        f"{peak_rss / (1 << 30):.2f} GiB, org_count "
+        f"{payload.get('org_count'):,}"
+    )
+    return {
+        "mapping": mapping.read_bytes(),
+        "org_count": payload.get("org_count"),
+        "peak_rss": peak_rss,
+        "seconds": seconds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--orgs", type=int, default=DEFAULT_ORGS)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--rss-ceiling-gib", type=float, default=DEFAULT_RSS_CEILING_GIB
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        sharded = run_borges("sharded", tmp, args.orgs, args.shards)
+        single = run_borges("single", tmp, args.orgs, 1)
+
+    if sharded["mapping"] != single["mapping"]:
+        print(
+            f"FAIL: --shards {args.shards} mapping differs from --shards 1 "
+            f"({sharded['org_count']} vs {single['org_count']} orgs)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"byte-identical mappings ({len(sharded['mapping']):,} bytes, "
+        f"{sharded['org_count']:,} orgs)"
+    )
+
+    ceiling = args.rss_ceiling_gib * (1 << 30)
+    if not sharded["peak_rss"]:
+        print("FAIL: sharded manifest carries no peak-RSS gauge", file=sys.stderr)
+        return 1
+    if sharded["peak_rss"] > ceiling:
+        print(
+            f"FAIL: sharded peak RSS {sharded['peak_rss'] / (1 << 30):.2f} GiB "
+            f"exceeds ceiling {args.rss_ceiling_gib} GiB",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"peak RSS {sharded['peak_rss'] / (1 << 30):.2f} GiB "
+        f"<= ceiling {args.rss_ceiling_gib} GiB"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--out", type=Path, default=Path("datasets"), help="output directory"
     )
+    gen.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "export chunk by chunk with bounded memory (output files are "
+            "byte-identical to the default collect-all export)"
+        ),
+    )
 
     run = sub.add_parser("run", help="run the Borges pipeline")
     run.add_argument(
@@ -138,6 +146,17 @@ def build_parser() -> argparse.ArgumentParser:
             "inputs is served from cache instead of recomputing"
         ),
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "partition the dataset into N org-closed shards and run one "
+            "stage DAG per shard; the final mapping is byte-identical "
+            "to an unsharded run"
+        ),
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
@@ -172,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="use a persistent stage-artifact cache at DIR",
+    )
+    telemetry.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sharded (one stage DAG per org-closed shard)",
     )
 
     sub.add_parser(
@@ -505,8 +531,25 @@ def _universe_config(args: argparse.Namespace) -> UniverseConfig:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    universe = generate_universe(_universe_config(args))
     out: Path = args.out
+    if args.stream:
+        from .obs import record_peak_rss
+        from .universe import export_universe_streaming
+
+        def progress(index: int, total: int, asns: int) -> None:
+            if args.verbose:
+                print(f"  chunk {index + 1}/{total}: {asns:,} ASNs exported")
+
+        summary = export_universe_streaming(
+            _universe_config(args), out, progress=progress
+        )
+        peak = record_peak_rss()
+        print(f"exported universe (seed {args.seed}) to {out}/ [streamed]")
+        for key, value in sorted(summary.items()):
+            print(f"  {key}: {value:,}")
+        print(f"  peak_rss_mib: {peak / (1 << 20):,.0f}")
+        return 0
+    universe = generate_universe(_universe_config(args))
     out.mkdir(parents=True, exist_ok=True)
     save_snapshot(universe.pdb, out / "peeringdb_snapshot.json")
     save_as2org_file(universe.whois, out / "as2org.jsonl")
@@ -534,12 +577,43 @@ def _stage_summary_lines(result) -> Sequence[str]:
     ]
     for record in records:
         duration_ms = 1000.0 * float(record.get("duration_seconds", 0.0))
+        stage = str(record["stage"])
+        if record.get("shard") is not None:
+            stage = f"{stage}#{record['shard']}"
         lines.append(
-            f"  {record['stage']:<12} {record['status']:<8} "
+            f"  {stage:<12} {record['status']:<8} "
             f"{(record['source'] or '-'):<9} {duration_ms:>8.1f} ms  "
             f"[{record['fingerprint'][:12]}]"
         )
     return lines
+
+
+def _shard_summary_lines(result) -> Sequence[str]:
+    """Partition + per-shard accounting of a `run_sharded` result."""
+    partition = result.diagnostics.get("partition", {})
+    lines = [
+        f"shards: {partition.get('shards')} "
+        f"(requested {partition.get('requested_shards')}), "
+        f"{partition.get('components'):,} components over "
+        f"{partition.get('asns'):,} ASNs "
+        f"(largest component {partition.get('largest_component'):,})"
+    ]
+    for shard in result.diagnostics.get("shards", []):
+        lines.append(
+            f"  shard {shard['shard']}: {shard['asns']:>7,} ASNs "
+            f"{shard['components']:>6,} components "
+            f"{1000.0 * float(shard['duration_seconds']):>8.1f} ms  "
+            f"{shard['llm_requests']:>5} llm requests"
+            + ("  DEGRADED" if shard.get("degraded") else "")
+        )
+    return lines
+
+
+def _peak_rss_line(result) -> Optional[str]:
+    peak = result.diagnostics.get("peak_rss_bytes")
+    if not peak:
+        return None
+    return f"peak rss: {float(peak) / (1 << 20):,.0f} MiB"
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -573,10 +647,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.explain_plan:
         print(pipeline.explain_plan(args.stages))
         return 0
-    result = pipeline.run(stages=args.stages)
-    _RUN_ARTIFACTS.update(
-        config=pipeline.config, result=result, client=pipeline.client
-    )
+    if args.shards > 1:
+        from .core import run_sharded
+
+        result = run_sharded(
+            whois,
+            pdb,
+            web,
+            config,
+            n_shards=args.shards,
+            stages=args.stages,
+            artifact_store=store,
+        )
+        _RUN_ARTIFACTS.update(config=config, result=result)
+    else:
+        result = pipeline.run(stages=args.stages)
+        _RUN_ARTIFACTS.update(
+            config=pipeline.config, result=result, client=pipeline.client
+        )
     if result.degraded:
         print("WARNING: run completed DEGRADED — features lost to failures:")
         for name, error in sorted(result.feature_errors.items()):
@@ -587,12 +675,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     theta = org_factor_from_mapping(result.mapping)
     print(f"organizations: {len(result.mapping):,}")
     print(f"organization factor (theta): {theta:.4f}")
-    usage = pipeline.client.total_usage
-    print(
-        f"llm usage: {pipeline.client.request_count} requests, "
-        f"{usage.total_tokens:,} tokens (~${usage.cost_usd():.4f})"
-    )
-    print(_cache_summary_line(result.diagnostics.get("llm_cache", {})))
+    if args.shards > 1:
+        for line in _shard_summary_lines(result):
+            print(line)
+        print(f"llm usage: {result.diagnostics.get('llm_requests', 0)} requests")
+        rss_line = _peak_rss_line(result)
+        if rss_line:
+            print(rss_line)
+    else:
+        usage = pipeline.client.total_usage
+        print(
+            f"llm usage: {pipeline.client.request_count} requests, "
+            f"{usage.total_tokens:,} tokens (~${usage.cost_usd():.4f})"
+        )
+        print(_cache_summary_line(result.diagnostics.get("llm_cache", {})))
     if store is not None:
         for line in _stage_summary_lines(result):
             print(line)
@@ -647,26 +743,48 @@ def _print_span_tree(spans, indent: int = 0) -> None:
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     universe = generate_universe(_universe_config(args))
-    pipeline = BorgesPipeline(
-        universe.whois, universe.pdb, universe.web, _borges_config(args),
-        artifact_store=_artifact_store(args),
-    )
-    result = pipeline.run()
-    _RUN_ARTIFACTS.update(
-        config=pipeline.config, result=result, client=pipeline.client
-    )
+    config = _borges_config(args)
+    if args.shards > 1:
+        from .core import run_sharded
+
+        result = run_sharded(
+            universe.whois,
+            universe.pdb,
+            universe.web,
+            config,
+            n_shards=args.shards,
+            artifact_store=_artifact_store(args),
+        )
+        _RUN_ARTIFACTS.update(config=config, result=result)
+    else:
+        pipeline = BorgesPipeline(
+            universe.whois, universe.pdb, universe.web, config,
+            artifact_store=_artifact_store(args),
+        )
+        result = pipeline.run()
+        _RUN_ARTIFACTS.update(
+            config=pipeline.config, result=result, client=pipeline.client
+        )
     print("stage execution:")
     for line in _stage_summary_lines(result):
         print(line)
     print("stage timings:")
     _print_span_tree(get_tracer().spans())
-    usage = pipeline.client.total_usage
-    print(
-        f"llm usage: {pipeline.client.request_count} requests, "
-        f"{usage.prompt_tokens:,} prompt + {usage.completion_tokens:,} "
-        f"completion tokens (~${usage.cost_usd():.4f})"
-    )
-    print(_cache_summary_line(pipeline.client.cache_stats()))
+    if args.shards > 1:
+        for line in _shard_summary_lines(result):
+            print(line)
+        print(f"llm usage: {result.diagnostics.get('llm_requests', 0)} requests")
+    else:
+        usage = pipeline.client.total_usage
+        print(
+            f"llm usage: {pipeline.client.request_count} requests, "
+            f"{usage.prompt_tokens:,} prompt + {usage.completion_tokens:,} "
+            f"completion tokens (~${usage.cost_usd():.4f})"
+        )
+        print(_cache_summary_line(pipeline.client.cache_stats()))
+    rss_line = _peak_rss_line(result)
+    if rss_line:
+        print(rss_line)
     print(f"organizations: {len(result.mapping):,}")
     resilience = result.diagnostics.get("resilience", {})
     if isinstance(resilience, dict) and resilience.get("fault_profile") != "none":

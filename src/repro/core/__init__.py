@@ -10,12 +10,19 @@ from .artifacts import Artifact, ArtifactStore, compute_fingerprint
 from .evidence import Evidence, MappingExplainer, collect_evidence
 from .executor import ExecutionOutcome, StageExecutor, StageRecord
 from .mapping import OrgMapping
-from .merge import UnionFind, merge_clusters
+from .merge import UnionFind, merge_clusters, reduce_shard_clusters
 from .org_keys import oid_p_clusters, oid_w_clusters
 from .ner import NERModule, NERRecordResult
+from .partition import PartitionPlan, Shard, partition_universe, validate_partition
 from .stages import ALL_STAGES, StageContext, StageSpec, build_stage_graph
 from .web_inference import WebInferenceModule, WebInferenceResult
-from .pipeline import BorgesPipeline, BorgesResult, FeatureClusters
+from .pipeline import (
+    BorgesPipeline,
+    BorgesResult,
+    FeatureClusters,
+    ShardedBorgesResult,
+    run_sharded,
+)
 
 __all__ = [
     "Artifact",
@@ -30,8 +37,13 @@ __all__ = [
     "OrgMapping",
     "UnionFind",
     "merge_clusters",
+    "reduce_shard_clusters",
     "oid_p_clusters",
     "oid_w_clusters",
+    "PartitionPlan",
+    "Shard",
+    "partition_universe",
+    "validate_partition",
     "NERModule",
     "NERRecordResult",
     "ALL_STAGES",
@@ -43,4 +55,6 @@ __all__ = [
     "BorgesPipeline",
     "BorgesResult",
     "FeatureClusters",
+    "ShardedBorgesResult",
+    "run_sharded",
 ]

@@ -29,7 +29,7 @@ from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..logutil import get_logger
 from ..obs.context import (
@@ -105,12 +105,21 @@ class StageExecutor:
         ctx: StageContext,
         max_workers: int = 4,
         salt: Optional[object] = None,
+        extra_labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.ctx = ctx
         self.max_workers = max(1, int(max_workers))
         self.salt = salt
+        #: Extra metric labels / span attributes stamped on every stage
+        #: this executor runs (a sharded run passes ``{"shard": "3"}``,
+        #: so per-shard stage counters stay distinguishable in one
+        #: registry).  Labels never enter fingerprints: the same work is
+        #: the same artifact no matter which shard computed it.
+        self.extra_labels: Dict[str, str] = {
+            str(k): str(v) for k, v in (extra_labels or {}).items()
+        }
         self._resource_locks: Dict[str, threading.Lock] = {}
         for spec in graph.values():
             for resource in spec.resources:
@@ -233,6 +242,8 @@ class StageExecutor:
                 with use_trace_context(run_context):
                     with self._tracer.attach(parent_span):
                         with self._tracer.span("stage." + name) as span:
+                            for key, value in self.extra_labels.items():
+                                span.set_attribute(key, value)
                             self._run_one(spec, record, fingerprints, outcome)
                             span.set_attribute("status", record.status)
                             span.set_attribute("source", record.source)
@@ -249,8 +260,7 @@ class StageExecutor:
             self._metrics.counter(
                 "pipeline_stage_runs_total",
                 "stage executions by outcome",
-                stage=name,
-                outcome=record.status,
+                **dict(self.extra_labels, stage=name, outcome=record.status),
             ).inc()
             with use_trace_context(run_context):
                 get_event_log().emit(
@@ -267,7 +277,7 @@ class StageExecutor:
                 self._metrics.counter(
                     "pipeline_feature_failures_total",
                     "features lost to errors (run degraded)",
-                    feature=spec.feature or name,
+                    **dict(self.extra_labels, feature=spec.feature or name),
                 ).inc()
                 _LOG.warning(
                     "stage %s failed, continuing degraded: %s",
@@ -295,8 +305,11 @@ class StageExecutor:
                         self._metrics.counter(
                             "pipeline_stage_runs_total",
                             "stage executions by outcome",
-                            stage=name,
-                            outcome="skipped",
+                            **dict(
+                                self.extra_labels,
+                                stage=name,
+                                outcome="skipped",
+                            ),
                         ).inc()
                         finish(name)
                         continue

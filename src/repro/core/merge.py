@@ -69,6 +69,24 @@ class UnionFind:
         )
 
 
+def reduce_shard_clusters(
+    shard_cluster_lists: Iterable[Iterable[Iterable[ASN]]],
+) -> List[Cluster]:
+    """The sharded pipeline's final reduce: union per-shard cluster lists.
+
+    Union-find consolidation is associative and commutative, so merging
+    each shard's already-consolidated clusters and then merging across
+    shards yields exactly the clusters of one global merge — this is the
+    algebraic fact that makes sharded execution exact rather than
+    approximate.  When the partition is *closed* (no feature edge
+    crosses shards — see :mod:`repro.core.partition`), the per-shard
+    cluster sets are disjoint and this reduce is a plain concatenation;
+    the union-find pass is kept as defense in depth so an imperfect
+    partition degrades to correct-but-slower, never to wrong.
+    """
+    return merge_clusters(shard_cluster_lists)
+
+
 def merge_clusters(cluster_lists: Iterable[Iterable[Iterable[ASN]]]) -> List[Cluster]:
     """Consolidate clusters from several features into one partition.
 

@@ -12,9 +12,11 @@ per-stage execution records, and module-level diagnostics.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import (
     TABLE_FEATURE_ORDER,
@@ -24,6 +26,7 @@ from ..digest import dataset_digest
 from ..llm.client import ChatClient
 from ..llm.simulated import make_default_client
 from ..logutil import get_logger
+from ..obs.process import record_peak_rss
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.tracer import Tracer, get_tracer
 from ..peeringdb import PDBSnapshot
@@ -40,8 +43,9 @@ from ..whois import WhoisDataset
 from .artifacts import ArtifactStore
 from .executor import ExecutionOutcome, StageExecutor
 from .mapping import OrgMapping
-from .merge import merge_clusters
+from .merge import merge_clusters, reduce_shard_clusters
 from .ner import NERModule, NERRecordResult
+from .partition import PartitionPlan, partition_universe
 from .org_keys import oid_p_clusters, oid_w_clusters  # noqa: F401 - re-export
 from .stages import (
     STAGE_FAVICONS,
@@ -69,9 +73,14 @@ class FeatureClusters:
     feature: str
     clusters: List[Cluster]
 
-    @property
+    @cached_property
     def asn_count(self) -> int:
-        """Number of distinct ASNs the feature says anything about."""
+        """Number of distinct ASNs the feature says anything about.
+
+        Cached like :attr:`org_count`: the set union is O(total cluster
+        size), and Table 3, the CLI summary and the manifest each read
+        it — at 10^6 ASNs the repeated unions dominated profile time.
+        """
         members = set()
         for cluster in self.clusters:
             members.update(cluster)
@@ -153,10 +162,16 @@ class BorgesPipeline:
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
         artifact_store: Optional[ArtifactStore] = None,
+        metric_labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self._whois = whois
         self._pdb = pdb
         self._config = (config or BorgesConfig()).validate()
+        # Extra labels stamped on every stage counter/gauge and span
+        # this pipeline emits (the sharded runner passes {"shard": i}).
+        self._metric_labels: Dict[str, str] = {
+            str(k): str(v) for k, v in (metric_labels or {}).items()
+        }
         # Digests anchor artifact fingerprints; the web digest is taken
         # before any fault wrapper so chaos cannot silently change the
         # address of a clean artifact (the fault salt does that, loudly).
@@ -264,6 +279,7 @@ class BorgesPipeline:
             self._stage_context(),
             max_workers=max_workers,
             salt=self._fingerprint_salt,
+            extra_labels=self._metric_labels,
         )
 
     def plan(
@@ -335,17 +351,20 @@ class BorgesPipeline:
         for name, feature in features.items():
             self._metrics.gauge(
                 "pipeline_feature_clusters", "clusters emitted per feature",
-                feature=name,
+                **dict(self._metric_labels, feature=name),
             ).set(len(feature.clusters))
         self._metrics.gauge(
-            "pipeline_orgs", "organizations after consolidation"
+            "pipeline_orgs", "organizations after consolidation",
+            **self._metric_labels,
         ).set(len(mapping))
         self._metrics.gauge(
-            "pipeline_degraded", "1 when the last run lost features"
+            "pipeline_degraded", "1 when the last run lost features",
+            **self._metric_labels,
         ).set(1 if failures else 0)
 
         diagnostics = self._diagnostics(web_result, failures)
         diagnostics["artifact_cache"] = store.stats()
+        diagnostics["peak_rss_bytes"] = record_peak_rss(self._metrics)
         return BorgesResult(
             mapping=mapping,
             features=features,
@@ -428,3 +447,190 @@ class BorgesPipeline:
             method=label,
             org_names=org_names,
         )
+
+
+# -- sharded execution ---------------------------------------------------------
+
+
+@dataclass
+class ShardedBorgesResult(BorgesResult):
+    """A sharded run's combined result.
+
+    Quacks like :class:`BorgesResult` (mapping, features, Table-3 rows,
+    diagnostics, stage records — the latter carrying a ``shard`` key per
+    record) and additionally exposes the partition plan and every
+    shard's own :class:`BorgesResult`.
+    """
+
+    partition: Optional[PartitionPlan] = None
+    shard_results: List[BorgesResult] = field(default_factory=list)
+
+
+def run_sharded(
+    whois: WhoisDataset,
+    pdb: PDBSnapshot,
+    web: SimulatedWeb,
+    config: Optional[BorgesConfig] = None,
+    n_shards: int = 2,
+    *,
+    stages: Optional[Sequence[str]] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    artifact_store: Optional[ArtifactStore] = None,
+) -> ShardedBorgesResult:
+    """Run the pipeline sharded: partition → N stage DAGs → reduce.
+
+    The dataset is split into closed, balanced shards (see
+    :mod:`repro.core.partition`); one :class:`BorgesPipeline` per shard
+    runs the ordinary stage DAG over ``whois``/``pdb`` restricted to the
+    shard's ASNs (the full web stays shared — it is read-only), all
+    shards feeding one :class:`ArtifactStore`.  Restricted-dataset
+    digests give every shard its own stage fingerprints, so warm re-runs
+    stay incremental per shard.  The final reduce unions the per-shard
+    cluster lists (:func:`~repro.core.merge.reduce_shard_clusters` —
+    associative, hence exact) into one mapping over the full universe;
+    because the partition is closed, that mapping is byte-identical to
+    the unsharded one.
+
+    Shards run concurrently on a thread pool bounded by
+    ``config.executor.max_workers``, except under an active fault
+    profile, where shards run sequentially (each shard's pipeline is
+    already sequential under chaos) so injected faults remain a pure
+    function of the profile and seed.
+    """
+    config = (config or BorgesConfig()).validate()
+    spans = tracer if tracer is not None else get_tracer()
+    metrics = registry if registry is not None else get_registry()
+    store = artifact_store
+    if store is None:
+        cache_dir = config.executor.artifact_cache_dir
+        store = ArtifactStore(root=cache_dir) if cache_dir else ArtifactStore()
+
+    with spans.span("pipeline.sharded", shards=n_shards):
+        with spans.span("pipeline.partition"):
+            plan = partition_universe(whois, pdb, web, n_shards)
+        metrics.gauge(
+            "pipeline_shards", "shards in the last sharded run"
+        ).set(len(plan.shards))
+
+        pipelines: List[BorgesPipeline] = []
+        for shard in plan.shards:
+            with spans.span("pipeline.shard_datasets", shard=shard.index):
+                shard_whois = whois.restricted_to(shard.asns)
+                shard_pdb = pdb.restricted_to(shard.asns)
+            pipelines.append(
+                BorgesPipeline(
+                    shard_whois,
+                    shard_pdb,
+                    web,
+                    config,
+                    tracer=tracer,
+                    registry=registry,
+                    artifact_store=store,
+                    metric_labels={"shard": str(shard.index)},
+                )
+            )
+
+        fault_active = resolve_fault_profile(
+            config.resilience.fault_profile
+        ).active
+        workers = (
+            1
+            if fault_active or len(pipelines) <= 1
+            else min(len(pipelines), max(1, config.executor.max_workers))
+        )
+
+        durations: List[float] = [0.0] * len(pipelines)
+
+        def run_one(index: int) -> BorgesResult:
+            start = time.perf_counter()
+            with spans.span("pipeline.shard", shard=index):
+                result = pipelines[index].run(stages=stages)
+            durations[index] = time.perf_counter() - start
+            return result
+
+        if workers == 1:
+            shard_results = [run_one(i) for i in range(len(pipelines))]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="borges-shard"
+            ) as pool:
+                shard_results = list(pool.map(run_one, range(len(pipelines))))
+
+        # -- reduce --------------------------------------------------------
+        features: Dict[str, FeatureClusters] = {}
+        failures: Dict[str, str] = {}
+        for name in TABLE_FEATURE_ORDER:
+            clusters: List[Cluster] = []
+            present = False
+            for result in shard_results:
+                feature = result.features.get(name)
+                if feature is not None:
+                    present = True
+                    clusters.extend(feature.clusters)
+            if present:
+                features[name] = FeatureClusters(name, clusters)
+        for index, result in enumerate(shard_results):
+            for name, error in result.feature_errors.items():
+                note = f"shard {index}: {error}"
+                failures[name] = (
+                    failures[name] + "; " + note if name in failures else note
+                )
+
+        with spans.span("pipeline.reduce"):
+            reduced = reduce_shard_clusters(
+                [result.mapping.clusters() for result in shard_results]
+            )
+            org_names = {
+                asn: whois.org_name_of(asn) for asn in whois.asns()
+            }
+            label = "borges[" + ",".join(sorted(config.features)) + "]"
+            mapping = OrgMapping(
+                universe=whois.asns(),
+                clusters=reduced,
+                method=label,
+                org_names=org_names,
+            )
+
+        metrics.gauge(
+            "pipeline_orgs", "organizations after consolidation"
+        ).set(len(mapping))
+        metrics.gauge(
+            "pipeline_degraded", "1 when the last run lost features"
+        ).set(1 if failures else 0)
+
+        stage_records: List[Dict[str, object]] = []
+        shard_sections: List[Dict[str, object]] = []
+        llm_requests = 0
+        for index, result in enumerate(shard_results):
+            for record in result.stage_records:
+                stage_records.append(dict(record, shard=index))
+            llm_requests += int(result.diagnostics.get("llm_requests", 0))
+            shard_sections.append(
+                {
+                    "shard": index,
+                    "asns": len(plan.shards[index]),
+                    "components": plan.shards[index].components,
+                    "duration_seconds": round(durations[index], 6),
+                    "llm_requests": result.diagnostics.get("llm_requests", 0),
+                    "degraded": result.degraded,
+                }
+            )
+        diagnostics: Dict[str, object] = {
+            "partition": plan.summary(),
+            "shards": shard_sections,
+            "llm_requests": llm_requests,
+            "artifact_cache": store.stats(),
+            "peak_rss_bytes": record_peak_rss(metrics),
+        }
+
+    return ShardedBorgesResult(
+        mapping=mapping,
+        features=features,
+        diagnostics=diagnostics,
+        degraded=bool(failures),
+        feature_errors=failures,
+        stage_records=stage_records,
+        partition=plan,
+        shard_results=shard_results,
+    )

@@ -11,7 +11,6 @@ round trip is exercised end to end.
 
 from __future__ import annotations
 
-import ast
 import re
 from typing import List, Optional, Sequence, Tuple
 
@@ -41,6 +40,26 @@ _CLASSIFIER_URLS_RE = re.compile(
     r"Accessing these URLs (?P<urls>\[.*?\]) returned the attached favicon",
     re.DOTALL,
 )
+_URL_TOKEN_RE = re.compile(r"'([^']*)'|\"([^\"]*)\"")
+
+
+def _parse_url_list(text: str) -> List[str]:
+    """Parse the prompt's ``str(list_of_urls)`` rendering.
+
+    Deliberately not ``ast.literal_eval``: the AST constructor's
+    recursion bookkeeping is not reliable under heavy thread
+    concurrency on CPython 3.11 (``SystemError: AST constructor
+    recursion depth mismatch``, seen when many sharded favicon stages
+    classify at once), and the input is only ever a flat list of
+    quoted URL strings.
+    """
+    inner = text.strip()
+    if not (inner.startswith("[") and inner.endswith("]")):
+        raise LLMInvalidRequestError(f"unparsable URL list: {text[:80]!r}")
+    return [
+        match.group(1) if match.group(1) is not None else match.group(2)
+        for match in _URL_TOKEN_RE.finditer(inner)
+    ]
 
 
 class SimulatedChatBackend(ChatBackend):
@@ -146,10 +165,7 @@ class SimulatedChatBackend(ChatBackend):
         match = _CLASSIFIER_URLS_RE.search(prompt_text)
         if not match:
             raise LLMInvalidRequestError("classifier prompt missing URL list")
-        try:
-            urls = ast.literal_eval(match.group("urls"))
-        except (SyntaxError, ValueError) as exc:
-            raise LLMInvalidRequestError(f"unparsable URL list: {exc}") from exc
+        urls = _parse_url_list(match.group("urls"))
         favicon = b""
         for message in messages:
             images = message.images

@@ -54,6 +54,7 @@ from .manifest import (
     load_manifest,
     write_manifest,
 )
+from .process import PEAK_RSS_GAUGE, peak_rss_bytes, record_peak_rss
 from .prometheus import render_prometheus
 from .registry import (
     DEFAULT_COUNT_BUCKETS,
@@ -104,6 +105,9 @@ __all__ = [
     "config_fingerprint",
     "load_manifest",
     "write_manifest",
+    "PEAK_RSS_GAUGE",
+    "peak_rss_bytes",
+    "record_peak_rss",
     "render_prometheus",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",

@@ -129,6 +129,20 @@ class PDBSnapshot:
         payload.pop("meta", None)
         return stable_digest(payload)
 
+    def restricted_to(self, asns: Iterable[ASN]) -> "PDBSnapshot":
+        """Return a sub-snapshot containing only the given ASNs.
+
+        Orgs without any surviving net are dropped; referential
+        integrity is preserved by construction.  ``meta`` is carried
+        over unchanged so a restriction of a snapshot is comparable to
+        its source.
+        """
+        keep = set(asns)
+        nets = [n for asn, n in self.nets.items() if asn in keep]
+        org_ids = {n.org_id for n in nets}
+        orgs = [o for oid, o in self.orgs.items() if oid in org_ids]
+        return PDBSnapshot.build(orgs, nets, meta=dict(self.meta))
+
     # -- serialization ----------------------------------------------------
 
     def to_json(self) -> Dict[str, Any]:

@@ -16,9 +16,11 @@ manual inspection.
 
 from .entities import Brand, GroundTruth, Org, OrgCategory
 from .events import EventKind, MnAEvent
+from .export_stream import export_universe_streaming
 from .generator import Universe, UniverseGenerator, generate_universe
 
 __all__ = [
+    "export_universe_streaming",
     "Brand",
     "GroundTruth",
     "Org",

@@ -11,758 +11,71 @@ builds one deterministic synthetic Internet:
 4. the simulated web, with post-merger redirect chains and favicons;
 5. APNIC-style populations and an AS topology for AS-Rank;
 6. annotations: the truth needed to score extraction/classification.
+
+The implementation lives in :mod:`repro.universe.stream`, which splits
+generation into a cheap plan phase and lazy org-complete chunks so huge
+universes need not be materialized at once.  This module keeps the
+stable entry points: :class:`UniverseGenerator` with ``plan()`` /
+``stream()`` / ``generate()``, and the :class:`Universe` /
+:class:`Annotations` containers.
 """
 
 from __future__ import annotations
 
-import itertools
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Iterator, Optional
 
-from ..apnic import ApnicDataset, PopulationRecord
-from ..asrank import ASRank, ASTopology, compute_rank
 from ..config import UniverseConfig
-from ..logutil import get_logger
-from ..peeringdb import Network, Organization, PDBSnapshot
-from ..types import ASN
-from ..web.simweb import (
-    FRAMEWORK_FAVICON_BRANDS,
-    SimulatedWeb,
-    Site,
-    is_framework_favicon_brand,
-    make_favicon,
-)
-from ..whois import ASNDelegation, WhoisDataset, WhoisOrg
-from .canonical import CanonicalPlan, build_canonical_plan
-from .entities import Brand, GroundTruth, Org, OrgCategory
-from .events import EventKind, MnAEvent, Timeline
-from .names import NameForge
-from .notes_synth import NotesSynthesizer
-from .web_synth import build_web
-
-_LOG = get_logger("universe.generator")
-
-#: Synthetic ASNs are allocated upward from here; canonical scenario ASNs
-#: all sit below (see :mod:`repro.universe.canonical`).
-SYNTHETIC_ASN_BASE = 100_001
-
-_RIR_BY_REGION = {
-    "northam": "arin",
-    "latam": "lacnic",
-    "caribbean": "lacnic",
-    "europe": "ripencc",
-    "apac": "apnic",
-    "africa": "afrinic",
-    "mideast": "ripencc",
-}
-
-_CATEGORY_WEIGHTS = (
-    (OrgCategory.ACCESS, 0.40),
-    (OrgCategory.ENTERPRISE, 0.35),
-    (OrgCategory.TRANSIT, 0.15),
-    (OrgCategory.CONTENT, 0.10),
+from .stream import (  # noqa: F401  (re-exported API surface)
+    SYNTHETIC_ASN_BASE,
+    Annotations,
+    Universe,
+    UniverseChunk,
+    UniversePlan,
+    _is_carrier,
+    assemble_universe,
+    build_plan,
+    stream_chunks,
 )
 
-#: Brand ASN-count distribution (heavy-tailed; mirrors WHOIS org sizes,
-#: whose mean in the paper's snapshot is 1.23 ASNs per organization).
-_BRAND_SIZE_TABLE = (
-    (1, 0.890), (2, 0.070), (3, 0.020), (4, 0.008), (5, 0.005),
-    (8, 0.003), (12, 0.002), (20, 0.001), (40, 0.0005),
-)
-
-
-@dataclass
-class Annotations:
-    """Ground truth for the validation tables (Tables 4–5)."""
-
-    #: PDB net ASN → sibling ASNs truly embedded in its notes+aka text.
-    notes_truth: Dict[ASN, Tuple[ASN, ...]] = field(default_factory=dict)
-    #: favicon brand token → is it a real company's logo (vs framework)?
-    favicon_company: Dict[str, bool] = field(default_factory=dict)
-
-
-@dataclass
-class Universe:
-    """One complete synthetic Internet with all exported views."""
-
-    config: UniverseConfig
-    ground_truth: GroundTruth
-    timeline: Timeline
-    whois: WhoisDataset
-    pdb: PDBSnapshot
-    web: SimulatedWeb
-    apnic: ApnicDataset
-    topology: ASTopology
-    annotations: Annotations
-    _rank: Optional[ASRank] = None
-
-    @property
-    def asrank(self) -> ASRank:
-        """The AS-Rank table (computed lazily, cached)."""
-        if self._rank is None:
-            self._rank = compute_rank(self.topology)
-        return self._rank
-
-    def summary(self) -> Dict[str, float]:
-        stats: Dict[str, float] = {}
-        stats.update({f"gt_{k}": v for k, v in self.ground_truth.stats().items()})
-        stats.update({f"whois_{k}": v for k, v in self.whois.stats().items()})
-        stats.update(
-            {f"pdb_{k}": float(v) for k, v in self.pdb.stats().items()}
-        )
-        stats.update({f"web_{k}": float(v) for k, v in self.web.stats().items()})
-        stats["apnic_total_users"] = float(self.apnic.total_users)
-        stats["topology_asns"] = float(len(self.topology))
-        return stats
+__all__ = [
+    "SYNTHETIC_ASN_BASE",
+    "Annotations",
+    "Universe",
+    "UniverseGenerator",
+    "generate_universe",
+]
 
 
 class UniverseGenerator:
-    """Deterministic builder; every random draw hangs off ``config.seed``."""
+    """Deterministic builder; every random draw hangs off ``config.seed``.
+
+    ``generate()`` is a thin collect-all facade over the streaming path:
+    ``plan()`` draws every org's shape, ``stream()`` yields org-complete
+    chunks, and :func:`~repro.universe.stream.assemble_universe` folds
+    them — so the streamed universe is byte-identical to this one.
+    """
 
     def __init__(self, config: Optional[UniverseConfig] = None) -> None:
         self._config = (config or UniverseConfig()).validate()
-        seed = self._config.seed
-        self._rng = random.Random(("universe", seed).__repr__())
-        self._forge = NameForge(seed)
-        self._notes = NotesSynthesizer(seed)
-        self._asn_counter = itertools.count(SYNTHETIC_ASN_BASE)
-        #: Canonical scenarios hold fixed real-world ASNs (some above the
-        #: synthetic base, e.g. Maxihost's AS262287); never re-allocate them.
-        self._reserved_asns = frozenset(build_canonical_plan().all_asns())
+
+    @property
+    def config(self) -> UniverseConfig:
+        return self._config
+
+    def plan(self, chunk_size: Optional[int] = None) -> UniversePlan:
+        """Phase 1: per-org seeds + plan-level backbone facts."""
+        return build_plan(self._config, chunk_size=chunk_size)
+
+    def stream(
+        self, chunk_size: Optional[int] = None
+    ) -> Iterator[UniverseChunk]:
+        """Phase 2: lazily yield org-complete chunks of the universe."""
+        return stream_chunks(self.plan(chunk_size=chunk_size))
 
     def generate(self) -> Universe:
-        config = self._config
-        plan = build_canonical_plan()
-        ground_truth, timeline = self._build_ground_truth(plan)
-        whois = self._export_whois(ground_truth, plan)
-        web = self._build_web(ground_truth, timeline, plan)
-        pdb, annotations = self._export_pdb(ground_truth, plan, whois)
-        self._annotate_favicons(ground_truth, annotations)
-        apnic = self._populations(ground_truth)
-        topology = self._topology(ground_truth, whois)
-        universe = Universe(
-            config=config,
-            ground_truth=ground_truth,
-            timeline=timeline,
-            whois=whois,
-            pdb=pdb,
-            web=web,
-            apnic=apnic,
-            topology=topology,
-            annotations=annotations,
-        )
-        _LOG.info(
-            "universe generated: %d orgs, %d ASNs, %d PDB nets, %d sites",
-            len(ground_truth), len(whois), len(pdb), len(web),
-        )
-        return universe
-
-    # -- ground truth ----------------------------------------------------
-
-    def _build_ground_truth(
-        self, plan: CanonicalPlan
-    ) -> Tuple[GroundTruth, Timeline]:
-        ground_truth = GroundTruth()
-        events: List[MnAEvent] = list(plan.events)
-        for org in plan.orgs:
-            ground_truth.add(org)
-        for i in range(self._config.n_organizations):
-            org = self._random_org(i)
-            ground_truth.add(org)
-            events.extend(self._random_events(org))
-        # A couple of government-style registrants: one WHOIS org holding
-        # very many ASNs (the DoD pattern that anchors AS2Org's θ).
-        for g in range(2):
-            ground_truth.add(self._government_org(g))
-        ground_truth.invalidate_index()
-        return ground_truth, Timeline(events=events)
-
-    #: Conglomerate-probability multipliers per category: carriers grow by
-    #: acquisition far more often than enterprises (the Fig. 1 dynamic).
-    _CONGLOMERATE_MULTIPLIER = {
-        OrgCategory.TRANSIT: 3.0,
-        OrgCategory.CONTENT: 2.0,
-        OrgCategory.ACCESS: 1.5,
-        OrgCategory.ENTERPRISE: 0.5,
-    }
-
-    def _random_org(self, index: int) -> Org:
-        rng = self._rng
-        category = self._draw_category()
-        name = self._forge.company_name(category.value)
-        token = self._forge.brand_token(name)
-        region = self._forge.pick_region()
-        org_id = f"org-{index:05d}"
-        conglomerate_p = min(
-            0.5,
-            self._config.conglomerate_fraction
-            * self._CONGLOMERATE_MULTIPLIER[category],
-        )
-        is_conglomerate = rng.random() < conglomerate_p
-        org = Org(
-            org_id=org_id,
-            name=name,
-            category=category,
-            region=region,
-            is_conglomerate=is_conglomerate,
-            brand_token=token,
-        )
-        n_brands = 1
-        carrier_scale = False
-        if is_conglomerate:
-            carrier_scale = (
-                category is OrgCategory.TRANSIT and rng.random() < 0.30
-            )
-            if carrier_scale:
-                # Large carriers built by serial acquisition (Lumen, GTT...).
-                n_brands = rng.randint(5, 12)
-            else:
-                mean_extra = max(0.0, self._config.mean_subsidiaries - 1.0)
-                n_brands = min(2 + self._geometric(mean_extra), 26)
-        countries = self._forge.pick_countries(region, n_brands)
-        unified_branding = rng.random() < (0.85 if carrier_scale else 0.30)
-        acquired_p = 0.75 if carrier_scale else 0.30
-        for b, (country, cctld) in enumerate(countries):
-            brand_name = name if b == 0 else f"{name} {country}"
-            brand_token = token if (b == 0 or unified_branding) else (
-                self._forge.brand_token(self._forge.company_name(category.value))
-            )
-            brand = Brand(
-                brand_id=f"{org_id}/b{b}",
-                name=brand_name,
-                org_id=org_id,
-                country=country,
-                cctld=cctld,
-                asns=self._allocate_asns(self._draw_brand_size()),
-                language=self._forge.language_for(region),
-                acquired=(b > 0 and rng.random() < acquired_p),
-            )
-            self._assign_website(org, brand, brand_token, unified_branding)
-            org.brands.append(brand)
-        return org
-
-    def _government_org(self, index: int) -> Org:
-        size = max(2, self._config.max_org_asns - index * 30)
-        org = Org(
-            org_id=f"gov-{index}",
-            name=f"National Networks Agency {index}",
-            category=OrgCategory.ENTERPRISE,
-            region="northam" if index == 0 else "europe",
-        )
-        country, cctld = ("US", "com") if index == 0 else ("DE", "de")
-        org.brands = [
-            Brand(
-                brand_id=f"gov-{index}/main",
-                name=org.name,
-                org_id=org.org_id,
-                country=country,
-                cctld=cctld,
-                asns=self._allocate_asns(size),
-            )
-        ]
-        return org
-
-    def _random_events(self, org: Org) -> List[MnAEvent]:
-        if not org.is_conglomerate:
-            return []
-        events = []
-        year = 2006 + self._rng.randint(0, 4)
-        for brand in org.brands:
-            if brand.acquired:
-                # Serial acquirers buy a company every year or two; cap at
-                # the snapshot's present (2024).
-                year = min(2024, year + self._rng.randint(1, 3))
-                events.append(
-                    MnAEvent(
-                        kind=EventKind.ACQUISITION,
-                        year=year,
-                        subject_org=org.org_id,
-                        object_id=brand.brand_id,
-                    )
-                )
-        return events
-
-    #: Anonymous hosting-template favicon families beyond the named ones;
-    #: each groups a few unrelated small sites (Table 5's TN population).
-    _N_TEMPLATE_FAMILIES = 36
-
-    def _framework_brand(self) -> str:
-        families = list(FRAMEWORK_FAVICON_BRANDS) + [
-            f"webtemplate{k}-default" for k in range(self._N_TEMPLATE_FAMILIES)
-        ]
-        return self._rng.choice(families)
-
-    def _assign_website(
-        self, org: Org, brand: Brand, brand_token: str, unified: bool
-    ) -> None:
-        rng = self._rng
-        has_site = rng.random() < (0.92 if org.is_conglomerate else 0.82)
-        if not has_site:
-            return
-        token = org.brand_token if (unified and org.is_conglomerate) else brand_token
-        host = f"www.{token}.{brand.cctld}"
-        brand.website_host = host
-        small = not org.is_conglomerate and len(brand.asns) <= 2
-        if small and rng.random() < self._config.framework_favicon_rate:
-            brand.favicon_brand = self._framework_brand()
-        elif unified and org.is_conglomerate:
-            # Unified branding usually means a unified logo too — the
-            # same-favicon + same-token population step 1 resolves.  Some
-            # subsidiaries nevertheless serve a localized icon variant,
-            # which breaks the favicon link (the §5.3 DE-CIX example is
-            # this divergence in the wild).
-            brand.favicon_brand = (
-                org.brand_token
-                if rng.random() < 0.5
-                else f"{org.brand_token}-{brand.country.lower()}-variant"
-            )
-        elif rng.random() < self._config.shared_favicon_rate:
-            brand.favicon_brand = org.brand_token
-        else:
-            brand.favicon_brand = brand_token
-
-    # -- WHOIS export --------------------------------------------------------
-
-    def _export_whois(
-        self, ground_truth: GroundTruth, plan: CanonicalPlan
-    ) -> WhoisDataset:
-        rng = self._rng
-        orgs: Dict[str, WhoisOrg] = {}
-        delegations: List[ASNDelegation] = []
-
-        def whois_org_for(key: str, name: str, country: str, region: str) -> str:
-            if key not in orgs:
-                rir = _RIR_BY_REGION.get(region, "arin")
-                handle = f"WO-{len(orgs):05d}-{rir.upper()}"
-                orgs[key] = WhoisOrg(
-                    org_id=handle, name=name, country=country, source=rir
-                )
-            return orgs[key].org_id
-
-        for org in ground_truth.all_orgs():
-            for brand in org.brands:
-                key = plan.whois_group.get(brand.brand_id)
-                if key is None:
-                    fragmented = (
-                        org.is_conglomerate
-                        and rng.random() < self._config.whois_fragmentation_rate
-                    )
-                    key = (
-                        f"W:{brand.brand_id}" if fragmented else f"W:{org.org_id}"
-                    )
-                display = brand.name if key.startswith("W:" + brand.brand_id) else org.name
-                org_id = whois_org_for(key, display, brand.country, org.region)
-                for asn in brand.asns:
-                    delegations.append(
-                        ASNDelegation(
-                            asn=asn,
-                            org_id=org_id,
-                            name=brand.name,
-                            source=orgs[key].source,
-                        )
-                    )
-        return WhoisDataset.build(orgs.values(), delegations)
-
-    # -- web export -----------------------------------------------------------
-
-    def _build_web(
-        self, ground_truth: GroundTruth, timeline: Timeline, plan: CanonicalPlan
-    ) -> SimulatedWeb:
-        web = build_web(ground_truth, timeline, self._config, self._config.seed)
-        for extra in plan.extra_sites:
-            if extra.host in web:
-                continue
-            site = Site(
-                host=extra.host,
-                title=extra.title or extra.host,
-                favicon=(
-                    make_favicon(extra.favicon_brand)
-                    if extra.favicon_brand else b""
-                ),
-            )
-            if extra.redirect_target:
-                site.redirect_kind = extra.redirect_kind
-                site.redirect_target = extra.redirect_target
-            web.add_site(site)
-        for host, (target, kind) in plan.redirects.items():
-            site = web.site_for(f"https://{host}/")
-            if site is None:
-                site = web.add_site(Site(host=host, title=host))
-            site.redirect_kind = kind
-            site.redirect_target = target
-            site.alive = True
-        for host in plan.alive_hosts:
-            site = web.site_for(f"https://{host}/")
-            if site is not None:
-                site.alive = True
-        # Platform hosts (facebook & friends) that small operators point
-        # their PDB website at — blocklist targets.
-        from .names import PLATFORM_HOSTS
-
-        for host in PLATFORM_HOSTS:
-            if host not in web:
-                web.add_site(Site(host=host, title=host, favicon=make_favicon(host)))
-        return web
-
-    # -- PeeringDB export --------------------------------------------------------
-
-    def _export_pdb(
-        self,
-        ground_truth: GroundTruth,
-        plan: CanonicalPlan,
-        whois: WhoisDataset,
-    ) -> Tuple[PDBSnapshot, Annotations]:
-        rng = self._rng
-        annotations = Annotations()
-        pdb_orgs: Dict[str, Organization] = {}
-        nets: List[Network] = []
-        transit_pool = self._transit_pool(ground_truth)
-
-        def pdb_org_for(key: str, name: str, country: str) -> int:
-            if key not in pdb_orgs:
-                pdb_orgs[key] = Organization(
-                    org_id=len(pdb_orgs) + 1, name=name, country=country
-                )
-            return pdb_orgs[key].org_id
-
-        for org in ground_truth.all_orgs():
-            for brand in org.brands:
-                if not self._registers_in_pdb(org, brand, plan):
-                    continue
-                key = plan.pdb_group.get(brand.brand_id)
-                if key is None:
-                    rate = self._config.pdb_consolidation_rate
-                    if _is_carrier(org):
-                        # Serial-acquirer carriers run one NOC and one
-                        # PeeringDB org (the Lumen/CenturyLink pattern).
-                        rate = 0.40
-                    consolidated = (
-                        org.is_conglomerate and rng.random() < rate
-                    )
-                    key = f"P:{org.org_id}" if consolidated else f"P:{brand.brand_id}"
-                display = org.name if key == f"P:{org.org_id}" else brand.name
-                org_id = pdb_org_for(key, display, brand.country)
-                registered_asns = self._registered_asns(brand, plan)
-                for i, asn in enumerate(registered_asns):
-                    nets.append(
-                        self._make_net(
-                            org, brand, asn, i, org_id, plan,
-                            transit_pool, annotations,
-                        )
-                    )
-        snapshot = PDBSnapshot.build(
-            orgs=pdb_orgs.values(),
-            nets=nets,
-            meta={
-                "generated": "synthetic",
-                "seed": self._config.seed,
-                "source": "repro.universe",
-            },
-        )
-        return snapshot, annotations
-
-    def _registers_in_pdb(
-        self, org: Org, brand: Brand, plan: CanonicalPlan
-    ) -> bool:
-        if brand.brand_id in plan.register:
-            return True
-        rate = self._config.pdb_registration_rate
-        if org.category in (OrgCategory.TRANSIT, OrgCategory.CONTENT):
-            rate = min(0.95, rate * 1.9)
-        if org.is_conglomerate:
-            rate = min(0.95, rate * 1.4)
-        return self._rng.random() < rate
-
-    def _registered_asns(self, brand: Brand, plan: CanonicalPlan) -> List[ASN]:
-        if brand.brand_id in plan.register:
-            return list(brand.asns)
-        asns = [brand.primary_asn]
-        for asn in brand.asns:
-            if asn != brand.primary_asn and self._rng.random() < 0.7:
-                asns.append(asn)
-        return sorted(asns)
-
-    def _make_net(
-        self,
-        org: Org,
-        brand: Brand,
-        asn: ASN,
-        index_in_brand: int,
-        pdb_org_id: int,
-        plan: CanonicalPlan,
-        transit_pool: Sequence[ASN],
-        annotations: Annotations,
-    ) -> Network:
-        rng = self._rng
-        name = brand.name if index_in_brand == 0 else f"{brand.name} #{index_in_brand + 1}"
-        website = self._website_field(brand, plan)
-        notes_text, aka_text, truth = self._text_fields(
-            org, brand, asn, plan, transit_pool
-        )
-        if notes_text or aka_text:
-            annotations.notes_truth[asn] = truth
-        info_type = {
-            OrgCategory.ACCESS: "Cable/DSL/ISP",
-            OrgCategory.TRANSIT: "NSP",
-            OrgCategory.CONTENT: "Content",
-            OrgCategory.ENTERPRISE: "Enterprise",
-        }[org.category]
-        return Network(
-            asn=asn,
-            name=name,
-            org_id=pdb_org_id,
-            aka=aka_text,
-            notes=notes_text,
-            website=website,
-            info_type=info_type,
-        )
-
-    def _website_field(self, brand: Brand, plan: CanonicalPlan) -> str:
-        if brand.brand_id in plan.website_field:
-            return plan.website_field[brand.brand_id]
-        rng = self._rng
-        if brand.brand_id.startswith("gt-"):
-            return brand.website_url
-        if rng.random() < self._config.platform_website_rate:
-            from .names import PLATFORM_HOSTS
-
-            return f"https://{rng.choice(PLATFORM_HOSTS)}/"
-        if brand.website_host and rng.random() < self._config.website_rate:
-            return brand.website_url
-        return ""
-
-    def _text_fields(
-        self,
-        org: Org,
-        brand: Brand,
-        asn: ASN,
-        plan: CanonicalPlan,
-        transit_pool: Sequence[ASN],
-    ) -> Tuple[str, str, Tuple[ASN, ...]]:
-        """Synthesize (notes, aka, true_siblings) for one net record."""
-        rng = self._rng
-        notes_text = ""
-        aka_text = ""
-        truth: Set[ASN] = set()
-
-        planted_notes = plan.notes.get(asn)
-        planted_aka = plan.aka.get(asn)
-        if planted_notes is not None:
-            notes_text = planted_notes.text
-            truth.update(planted_notes.true_siblings)
-        if planted_aka is not None:
-            aka_text = planted_aka.text
-            truth.update(planted_aka.true_siblings)
-        if planted_notes is not None or planted_aka is not None:
-            return notes_text, aka_text, tuple(sorted(truth))
-
-        if rng.random() >= self._config.notes_rate:
-            return "", "", ()
-        other_asns = [a for a in org.asns if a != asn]
-        can_report_siblings = bool(other_asns)
-        # Operators with sibling networks are exactly the ones who write
-        # numeric notes (the paper's Table 4 sample: ~60% of numeric
-        # records carried true sibling reports).
-        numeric_rate = self._config.numeric_notes_rate
-        sibling_rate = self._config.sibling_notes_rate
-        if can_report_siblings:
-            numeric_rate = min(0.9, numeric_rate * 2.0)
-            sibling_rate = 0.5
-        if rng.random() >= numeric_rate:
-            synthesized = self._notes.plain_notes()
-            return synthesized.text, "", ()
-
-        roll = rng.random()
-        if can_report_siblings and roll < sibling_rate:
-            # Operators mostly list their own brand's other ASNs (already
-            # sharing a WHOIS org); cross-brand reports are the rarer,
-            # informative case.
-            same_brand = [a for a in brand.asns if a != asn]
-            pool = same_brand if (same_brand and rng.random() < 0.7) else other_asns
-            count = min(len(pool), rng.randint(1, 2))
-            siblings = sorted(rng.sample(pool, count))
-            upstream = (
-                sorted(rng.sample(list(transit_pool), min(3, len(transit_pool))))
-                if rng.random() < 0.25 and transit_pool
-                else ()
-            )
-            synthesized = self._notes.sibling_notes(
-                org_name=org.name,
-                siblings=siblings,
-                language=brand.language,
-                with_decoys=rng.random() < 0.3,
-                with_upstreams=upstream,
-            )
-            if rng.random() < 0.3:
-                aka_synth = self._notes.aka(
-                    alias=f"{org.name} {brand.country}",
-                    sibling_asn=rng.choice(other_asns),
-                )
-                aka_text = aka_synth.text
-                truth.update(aka_synth.true_siblings)
-            notes_text = synthesized.text
-            truth.update(synthesized.true_siblings)
-        elif roll < 0.75 and transit_pool:
-            count = min(len(transit_pool), rng.randint(2, 5))
-            synthesized = self._notes.upstream_notes(
-                upstreams=sorted(rng.sample(list(transit_pool), count)),
-                language=brand.language,
-            )
-            notes_text = synthesized.text
-        else:
-            synthesized = self._notes.decoy_notes()
-            notes_text = synthesized.text
-        return notes_text, aka_text, tuple(sorted(truth))
-
-    def _transit_pool(self, ground_truth: GroundTruth) -> List[ASN]:
-        pool: List[ASN] = []
-        for org in ground_truth.by_category(OrgCategory.TRANSIT):
-            for brand in org.brands:
-                pool.append(brand.primary_asn)
-        return sorted(pool)
-
-    # -- favicon annotations ---------------------------------------------------
-
-    def _annotate_favicons(
-        self, ground_truth: GroundTruth, annotations: Annotations
-    ) -> None:
-        for brand in ground_truth.all_brands():
-            if not brand.favicon_brand:
-                continue
-            annotations.favicon_company[brand.favicon_brand] = (
-                not is_framework_favicon_brand(brand.favicon_brand)
-            )
-
-    # -- populations -----------------------------------------------------------
-
-    def _populations(self, ground_truth: GroundTruth) -> ApnicDataset:
-        """Heavy-tailed user estimates for access networks, per country."""
-        rng = self._rng
-        raw: List[Tuple[ASN, str, float]] = []
-        for org in ground_truth.all_orgs():
-            if org.category is not OrgCategory.ACCESS:
-                continue
-            boost = 3.0 if org.org_id.startswith("gt-") else 1.0
-            for brand in org.brands:
-                base = rng.paretovariate(1.16) * 1_000.0 * boost
-                if org.is_conglomerate:
-                    base *= 2.5
-                weights = [rng.random() + 0.2 for _ in brand.asns]
-                total_weight = sum(weights)
-                for asn, weight in zip(brand.asns, weights):
-                    raw.append((asn, brand.country, base * weight / total_weight))
-        total_raw = sum(v for _, _, v in raw) or 1.0
-        scale = self._config.total_users / total_raw
-        dataset = ApnicDataset()
-        for asn, country, value in raw:
-            users = int(value * scale)
-            if users > 0:
-                dataset.add(
-                    PopulationRecord(asn=asn, country=country, users=users)
-                )
-        return dataset
-
-    # -- topology ----------------------------------------------------------------
-
-    def _topology(
-        self, ground_truth: GroundTruth, whois: WhoisDataset
-    ) -> ASTopology:
-        """A provider hierarchy: tier-1 transit → tier-2 transit → stubs."""
-        rng = self._rng
-        topology = ASTopology()
-        # Tier 1 is the carrier clique: the conglomerates built by serial
-        # acquisition sit at the top of AS-Rank in the real Internet
-        # (Lumen, GTT, Zayo...), ahead of large single-entity registrants.
-        transit_orgs = sorted(
-            ground_truth.by_category(OrgCategory.TRANSIT),
-            key=lambda o: (-int(_is_carrier(o)), -int(o.is_conglomerate), -o.size),
-        )
-        tier1: List[ASN] = []
-        tier2: List[ASN] = []
-        for i, org in enumerate(transit_orgs):
-            if i < 10:
-                # One clique member per organization: the flagship's
-                # primary ASN (real tier-1 cliques are a dozen comparable
-                # giants, not every subsidiary of every carrier).
-                flagship_asn = org.brands[0].primary_asn
-                tier1.append(flagship_asn)
-                tier2.extend(a for a in org.asns if a != flagship_asn)
-            else:
-                for brand in org.brands:
-                    tier2.extend(brand.asns)
-        tier1 = sorted(set(tier1))
-        tier2 = sorted(set(tier2) - set(tier1))
-        if not tier1:
-            tier1 = [whois.asns()[0]]
-        for asn in tier1:
-            topology.add_asn(asn)
-        for a, b in itertools.combinations(tier1, 2):
-            topology.add_p2p(a, b)
-        for asn in tier2:
-            for provider in rng.sample(tier1, min(len(tier1), rng.randint(2, 3))):
-                topology.add_p2c(provider, asn)
-        transit_set = set(tier1) | set(tier2)
-        providers_pool = tier2 or tier1
-        for asn in whois.asns():
-            if asn in transit_set:
-                continue
-            n_providers = rng.randint(1, 3)
-            if rng.random() < 0.1 and tier1:
-                topology.add_p2c(rng.choice(tier1), asn)
-                n_providers -= 1
-            for provider in rng.sample(
-                providers_pool, min(len(providers_pool), max(1, n_providers))
-            ):
-                topology.add_p2c(provider, asn)
-        return topology
-
-    # -- small draws -------------------------------------------------------------
-
-    def _draw_category(self) -> OrgCategory:
-        roll = self._rng.random()
-        acc = 0.0
-        for category, weight in _CATEGORY_WEIGHTS:
-            acc += weight
-            if roll < acc:
-                return category
-        return OrgCategory.ENTERPRISE
-
-    def _draw_brand_size(self) -> int:
-        roll = self._rng.random()
-        acc = 0.0
-        for size, weight in _BRAND_SIZE_TABLE:
-            acc += weight
-            if roll < acc:
-                return size
-        return self._rng.randint(40, self._config.max_org_asns)
-
-    def _geometric(self, mean: float) -> int:
-        """Geometric draw with the given mean (0 when mean is 0)."""
-        if mean <= 0:
-            return 0
-        p = 1.0 / (1.0 + mean)
-        count = 0
-        while self._rng.random() > p and count < 60:
-            count += 1
-        return count
-
-    def _allocate_asns(self, count: int) -> List[ASN]:
-        allocated: List[ASN] = []
-        while len(allocated) < count:
-            asn = next(self._asn_counter)
-            if asn not in self._reserved_asns:
-                allocated.append(asn)
-        return allocated
-
-
-def _is_carrier(org: Org) -> bool:
-    """A serial-acquirer transit carrier (many branded subsidiaries)."""
-    return (
-        org.category is OrgCategory.TRANSIT
-        and org.is_conglomerate
-        and len(org.brands) >= 5
-    )
+        """Collect-all facade: stream every chunk and assemble."""
+        plan = self.plan()
+        return assemble_universe(plan, stream_chunks(plan))
 
 
 def generate_universe(config: Optional[UniverseConfig] = None) -> Universe:

@@ -102,6 +102,32 @@ REGION_LANGUAGES: Dict[str, Tuple[str, ...]] = {
 }
 
 
+def pick_region(rng: random.Random) -> str:
+    return rng.choice(ALL_REGIONS)
+
+
+def pick_countries(
+    rng: random.Random, region: str, count: int
+) -> List[Tuple[str, str]]:
+    """Pick *count* (country, cctld) pairs, spilling into neighbours."""
+    pool = list(REGIONS[region])
+    rng.shuffle(pool)
+    picked = pool[:count]
+    if len(picked) < count:
+        others = [c for r in ALL_REGIONS if r != region for c in REGIONS[r]]
+        rng.shuffle(others)
+        for pair in others:
+            if len(picked) >= count:
+                break
+            if pair not in picked:
+                picked.append(pair)
+    return picked[:count]
+
+
+def language_for(rng: random.Random, region: str) -> str:
+    return rng.choice(REGION_LANGUAGES.get(region, ("en",)))
+
+
 class NameForge:
     """Mints unique, deterministic names from the corpora.
 
@@ -180,22 +206,64 @@ class NameForge:
         raise RuntimeError("brand token space exhausted")
 
     def pick_region(self) -> str:
-        return self._rng.choice(ALL_REGIONS)
+        return pick_region(self._rng)
 
     def pick_countries(self, region: str, count: int) -> List[Tuple[str, str]]:
         """Pick *count* (country, cctld) pairs, spilling into neighbours."""
-        pool = list(REGIONS[region])
-        self._rng.shuffle(pool)
-        picked = pool[:count]
-        if len(picked) < count:
-            others = [c for r in ALL_REGIONS if r != region for c in REGIONS[r]]
-            self._rng.shuffle(others)
-            for pair in others:
-                if len(picked) >= count:
-                    break
-                if pair not in picked:
-                    picked.append(pair)
-        return picked[:count]
+        return pick_countries(self._rng, region, count)
 
     def language_for(self, region: str) -> str:
-        return self._rng.choice(REGION_LANGUAGES.get(region, ("en",)))
+        return language_for(self._rng, region)
+
+
+class OrgNamer:
+    """Per-organization name minting for streaming generation.
+
+    Unlike :class:`NameForge` (one shared stream + a global used-set),
+    an ``OrgNamer`` derives everything from ``(seed, org_index)``, so any
+    organization's names can be regenerated without minting every
+    preceding org first.  Global token uniqueness comes from structure
+    instead of a shared set: every token carries the org index as a
+    suffix (``vega17``, second brand ``cedro17b1``), and since stems are
+    purely alphabetic the ``base + index [+ bN]`` form is injective.
+    Reserved/canonical/framework tokens never end in a bare index digit
+    run (the only reserved digit-bearing token is ``area1``, and its stem
+    ``area`` is not in the corpus), so collisions are impossible.
+    """
+
+    def __init__(self, seed: object, index: int) -> None:
+        self._rng = random.Random(repr(("names", seed, index)))
+        self._index = index
+        self._minted_tokens = 0
+
+    def company_name(self, category: str) -> str:
+        suffixes = {
+            "access": ACCESS_SUFFIXES,
+            "transit": TRANSIT_SUFFIXES,
+            "content": CONTENT_SUFFIXES,
+        }.get(category, ACCESS_SUFFIXES)
+        stem = self._rng.choice(COMPANY_STEMS)
+        suffix = self._rng.choice(suffixes)
+        return f"{stem} {suffix}"
+
+    def brand_token(self, company_name: str) -> str:
+        words = [
+            "".join(ch for ch in w.lower() if ch.isalnum())
+            for w in company_name.split()
+        ]
+        words = [w for w in words if w]
+        base = words[0] if words else "brand"
+        ordinal = self._minted_tokens
+        self._minted_tokens += 1
+        if ordinal == 0:
+            return f"{base}{self._index}"
+        return f"{base}{self._index}b{ordinal}"
+
+    def pick_region(self) -> str:
+        return pick_region(self._rng)
+
+    def pick_countries(self, region: str, count: int) -> List[Tuple[str, str]]:
+        return pick_countries(self._rng, region, count)
+
+    def language_for(self, region: str) -> str:
+        return language_for(self._rng, region)

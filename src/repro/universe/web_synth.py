@@ -4,18 +4,23 @@ Every brand's landing page, every post-merger redirect chain, every
 framework-default favicon and dead host is planted here, so the scraper
 discovers them the way the paper's Selenium crawl discovered the real
 ones.
+
+The planting helpers operate on a plain ``host → Site`` dict so the
+streaming generator (:mod:`repro.universe.stream`) can plant one org's
+sites at a time with a per-org RNG substream; :func:`build_web` keeps
+the collect-everything entry point over a shared stream.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Dict, Optional
 
 from ..config import UniverseConfig
 from ..logutil import get_logger
 from ..web.http import RedirectKind
 from ..web.simweb import SimulatedWeb, Site, make_favicon
-from .entities import Brand, GroundTruth, Org
+from .entities import Brand, GroundTruth, Org, OrgCategory
 from .events import Timeline
 
 _LOG = get_logger("universe.web_synth")
@@ -36,79 +41,74 @@ def build_web(
 ) -> SimulatedWeb:
     """Instantiate the whole simulated web for one universe."""
     rng = random.Random(("web", seed).__repr__())
-    web = SimulatedWeb()
+    sites: Dict[str, Site] = {}
     for org in ground_truth.all_orgs():
-        _plant_org_sites(web, org, rng, config)
-    _plant_redirect_chains(web, ground_truth, timeline, rng, config)
+        plant_org_sites(sites, org, rng, config)
+    for org in ground_truth.all_orgs():
+        plant_org_redirects(sites, org, rng, config)
+    web = SimulatedWeb()
+    for site in sites.values():
+        web.add_site(site)
     _LOG.debug("web built: %s", web.stats())
+    # Acquisition order is already encoded in Brand.acquired + flagship
+    # choice; multi-hop chains (Clearwire → Sprint → T-Mobile) compose
+    # naturally from per-brand redirects.
+    _ = timeline
     return web
 
 
-def _plant_org_sites(
-    web: SimulatedWeb, org: Org, rng: random.Random, config: UniverseConfig
+def plant_org_sites(
+    sites: Dict[str, Site], org: Org, rng: random.Random, config: UniverseConfig
 ) -> None:
     """Landing pages and favicons for every brand of one org."""
     for brand in org.brands:
-        if not brand.website_host or brand.website_host in web:
+        if not brand.website_host or brand.website_host in sites:
             continue
         alive = rng.random() >= config.dead_site_rate
-        web.add_site(
-            Site(
-                host=brand.website_host,
-                title=brand.name,
-                favicon=(
-                    make_favicon(brand.favicon_brand)
-                    if brand.favicon_brand
-                    else b""
-                ),
-                alive=alive,
-            )
+        sites[brand.website_host] = Site(
+            host=brand.website_host,
+            title=brand.name,
+            favicon=(
+                make_favicon(brand.favicon_brand)
+                if brand.favicon_brand
+                else b""
+            ),
+            alive=alive,
         )
 
 
-def _plant_redirect_chains(
-    web: SimulatedWeb,
-    ground_truth: GroundTruth,
-    timeline: Timeline,
-    rng: random.Random,
-    config: UniverseConfig,
+def plant_org_redirects(
+    sites: Dict[str, Site], org: Org, rng: random.Random, config: UniverseConfig
 ) -> None:
-    """Turn acquired brands' sites into redirects toward the parent.
+    """Turn one org's acquired brands' sites into redirects to the parent.
 
     Acquisition order matters: a brand acquired in year Y redirects to
     whatever the acquirer's flagship site was — which may itself have
     become a redirect after a later event, producing multi-hop chains
     (the Clearwire → Sprint → T-Mobile pattern).
     """
-    from .entities import OrgCategory
-
-    for org in ground_truth.all_orgs():
-        flagship = _flagship_brand(org)
-        if flagship is None:
+    flagship = _flagship_brand(org)
+    if flagship is None:
+        return
+    # Carriers consolidate their web presence aggressively after
+    # acquisitions (the Level3 → CenturyLink → Lumen pattern).
+    redirect_rate = config.merger_redirect_rate
+    if org.category is OrgCategory.TRANSIT:
+        redirect_rate = min(0.9, redirect_rate * 2.2)
+    for brand in org.brands:
+        if brand is flagship or not brand.acquired:
             continue
-        # Carriers consolidate their web presence aggressively after
-        # acquisitions (the Level3 → CenturyLink → Lumen pattern).
-        redirect_rate = config.merger_redirect_rate
-        if org.category is OrgCategory.TRANSIT:
-            redirect_rate = min(0.9, redirect_rate * 2.2)
-        for brand in org.brands:
-            if brand is flagship or not brand.acquired:
-                continue
-            if not brand.website_host or not flagship.website_host:
-                continue
-            if rng.random() >= redirect_rate:
-                continue
-            site = web.site_for(brand.website_url)
-            if site is None or not site.alive:
-                continue
-            if site.redirect_kind != RedirectKind.NONE:
-                continue  # already part of a chain
-            site.redirect_kind = rng.choice(_REDIRECT_KINDS)
-            site.redirect_target = flagship.website_url
-    # Multi-hop chains from explicit timeline chains (A acquired B which
-    # had acquired C): C's site already points at B's, and B's now points
-    # at A's — nothing more to do, chains compose naturally.
-    _ = timeline  # order is encoded in Brand.acquired + flagship choice
+        if not brand.website_host or not flagship.website_host:
+            continue
+        if rng.random() >= redirect_rate:
+            continue
+        site = sites.get(brand.website_host)
+        if site is None or not site.alive:
+            continue
+        if site.redirect_kind != RedirectKind.NONE:
+            continue  # already part of a chain
+        site.redirect_kind = rng.choice(_REDIRECT_KINDS)
+        site.redirect_target = flagship.website_url
 
 
 def _flagship_brand(org: Org) -> Optional[Brand]:
