@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""CI gate for the multi-worker serve tier.
+
+Compiles a snapshot blob, then runs the same pipelined load against a
+1-worker pool and a 4-worker pool sharing that blob behind one
+``SO_REUSEPORT`` socket, with two hot swaps landing mid-run in each
+configuration.  The gate asserts, in order of importance:
+
+1. **Correctness** — every blob answer (ASN lookup, org page, sibling
+   verdict, search ranking) is byte-identical to the in-memory
+   :class:`MappingIndex` over a seeded sample of the corpus, and every
+   request in both load runs succeeded (zero non-2xx across the swap
+   windows).
+2. **Hygiene** — worker churn (one ``SIGKILL`` during the 4-worker run)
+   respawns onto the *current* generation and no shared-memory segment
+   leaks after ``stop()``.
+3. **Scaling** — on machines with ≥ 4 cores, the 4-worker aggregate
+   must be ≥ 2.5× the single-worker aggregate.  On smaller runners the
+   ratio is reported but not enforced (there is nothing to scale onto).
+
+Run:  PYTHONPATH=src python scripts/serve_scale_check.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import UniverseConfig  # noqa: E402
+from repro.core import BorgesPipeline  # noqa: E402
+from repro.serve import MappingIndex  # noqa: E402
+from repro.serve.loadgen import run_pipelined  # noqa: E402
+from repro.serve.shm import (  # noqa: E402
+    BlobIndex,
+    WorkerConfig,
+    WorkerPool,
+    compile_index,
+)
+from repro.universe import generate_universe  # noqa: E402
+
+MIN_SCALING_4X = 2.5
+DRIVE_SECONDS = 3.0
+SAMPLE_ASNS = 2000
+SAMPLE_QUERIES = 60
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"  ok: {message}")
+
+
+def check_equivalence(index: MappingIndex, reader: BlobIndex) -> None:
+    """Blob answers must be byte-identical to the index's."""
+    rng = random.Random(41)
+    asns = index.asns()
+    sample = rng.sample(asns, min(SAMPLE_ASNS, len(asns)))
+    for asn in sample:
+        expected = json.dumps(index.lookup_asn(asn).to_json())
+        actual = json.dumps(reader.lookup_asn(asn).to_json())
+        if actual != expected:
+            fail(f"asn {asn}: blob answer diverged from index")
+        org_id = index.org_of(asn).org_id
+        if json.dumps(reader.org(org_id).to_json()) != json.dumps(
+            index.org(org_id).to_json()
+        ):
+            fail(f"org {org_id}: blob answer diverged from index")
+    for _ in range(SAMPLE_QUERIES):
+        a, b = rng.choice(asns), rng.choice(asns)
+        if reader.are_siblings(a, b) != index.are_siblings(a, b):
+            fail(f"sibling verdict diverged for ({a}, {b})")
+    queries = {index.lookup_asn(a).org.name.split()[0] for a in sample[:40]}
+    queries |= {q[:3] for q in list(queries)[:20]}  # prefix paths
+    for query in sorted(queries):
+        expected = json.dumps([r.to_json() for r in index.search(query)])
+        actual = json.dumps([r.to_json() for r in reader.search(query)])
+        if actual != expected:
+            fail(f"search({query!r}) diverged")
+    print(
+        f"  ok: blob byte-identical to index over {len(sample)} ASNs, "
+        f"{SAMPLE_QUERIES} sibling pairs, {len(queries)} search queries"
+    )
+
+
+def shm_entries() -> set:
+    root = Path("/dev/shm")
+    return {p.name for p in root.iterdir()} if root.is_dir() else set()
+
+
+def drive(pool: WorkerPool, blob: bytes, paths, seconds: float) -> dict:
+    """Pipelined load with two mid-run hot swaps."""
+    totals = {"requests": 0, "ok": 0, "errors": 0}
+    swaps: list = []
+
+    def swapper() -> None:
+        for _ in range(2):
+            time.sleep(seconds / 3.0)
+            swaps.append(pool.publish(blob))
+
+    thread = threading.Thread(target=swapper)
+    started = time.perf_counter()
+    thread.start()
+    try:
+        while time.perf_counter() - started < seconds:
+            result = run_pipelined(pool.url, paths, repeat=1)
+            for key in totals:
+                totals[key] += result[key]
+    finally:
+        thread.join(timeout=60.0)
+    elapsed = time.perf_counter() - started
+    totals["qps"] = totals["requests"] / elapsed
+    totals["swaps"] = len(swaps)
+    return totals
+
+
+def churn(pool: WorkerPool, blob: bytes, paths) -> None:
+    """SIGKILL one worker, publish while it is down, verify recovery.
+
+    The respawned worker must come back on the published generation
+    (pointer-driven catch-up) and fresh traffic must see zero failures.
+    """
+    dead_pid = pool.kill_worker(pool.config.workers - 1)
+    generation = pool.publish(blob)
+    states = pool.worker_states()
+    check(
+        states[-1] is not None and states[-1]["pid"] != dead_pid,
+        f"killed worker (pid {dead_pid}) was respawned",
+    )
+    check(
+        all(s and s["generation"] == generation for s in states),
+        f"all workers converged on generation {generation} after churn",
+    )
+    after = run_pipelined(pool.url, paths, repeat=2)
+    check(
+        after["errors"] == 0 and after["ok"] == after["requests"],
+        f"zero failed requests after kill -9 ({after['requests']:,} sent)",
+    )
+
+
+def main() -> None:
+    print("== serve-scale: building universe + snapshot blob ==")
+    universe = generate_universe(UniverseConfig())
+    result = BorgesPipeline(universe.whois, universe.pdb, universe.web).run()
+    index = MappingIndex.build(
+        result.mapping, whois=universe.whois, pdb=universe.pdb
+    )
+    blob = compile_index(index)
+    print(
+        f"  blob: {len(blob):,} bytes for {index.asn_count:,} ASNs / "
+        f"{len(index):,} orgs"
+    )
+
+    print("== answer equivalence: blob reader vs MappingIndex ==")
+    check_equivalence(index, BlobIndex(blob))
+
+    paths = [f"/v1/asn/{asn}" for asn in index.asns()[:512]]
+    before = shm_entries()
+    results = {}
+    for workers in (1, 4):
+        print(f"== load: {workers} worker(s), 2 hot swaps mid-run ==")
+        pool = WorkerPool(
+            WorkerConfig(workers=workers, swap_timeout=60.0),
+            state_dir=None,
+        )
+        pool.start(blob)
+        try:
+            run_pipelined(pool.url, paths[:64], repeat=1)  # warm-up
+            totals = drive(pool, blob, paths, DRIVE_SECONDS)
+            check(
+                totals["swaps"] == 2, f"workers={workers}: 2 hot swaps landed"
+            )
+            check(
+                totals["errors"] == 0 and totals["ok"] == totals["requests"],
+                f"workers={workers}: zero failed requests "
+                f"({totals['requests']:,} total across swap windows)",
+            )
+            if workers == 4:
+                print("== worker churn: kill -9 + publish while down ==")
+                churn(pool, blob, paths)
+        finally:
+            pool.stop()
+        results[workers] = totals
+        print(f"  aggregate: {totals['qps']:,.0f} req/s")
+
+    leaked = shm_entries() - before
+    check(not leaked, f"no leaked shm segments (leaked={sorted(leaked)})")
+
+    ratio = results[4]["qps"] / max(results[1]["qps"], 1e-9)
+    cores = os.cpu_count() or 1
+    print(f"== scaling: {ratio:.2f}x on {cores} core(s) ==")
+    if cores >= 4:
+        check(
+            ratio >= MIN_SCALING_4X,
+            f"4-worker aggregate >= {MIN_SCALING_4X}x single worker "
+            f"(got {ratio:.2f}x)",
+        )
+    else:
+        print(
+            f"  skip: scaling bar needs >= 4 cores, runner has {cores} "
+            f"(measured {ratio:.2f}x)"
+        )
+    print("serve-scale check passed")
+
+
+if __name__ == "__main__":
+    main()

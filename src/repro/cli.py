@@ -157,6 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
             "to an unsharded run"
         ),
     )
+    run.add_argument(
+        "--shard-workers",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "concurrency substrate for sharded runs: threads (share one "
+            "GIL) or forked processes (CPU parallelism; results are "
+            "byte-identical either way)"
+        ),
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
@@ -199,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run sharded (one stage DAG per org-closed shard)",
     )
+    telemetry.add_argument(
+        "--shard-workers",
+        choices=("thread", "process"),
+        default="thread",
+        help="thread (default) or forked-process shard workers",
+    )
 
     sub.add_parser(
         "evolution", help="longitudinal study: theta/orgs per historical year"
@@ -235,6 +251,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "serve with N forked worker processes sharing one read-only "
+            "compiled snapshot behind SO_REUSEPORT (default 1: the "
+            "classic single-process tier)"
+        ),
+    )
+    serve.add_argument(
+        "--pool-state",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "state directory for --workers mode (segments, generation "
+            "pointer, per-worker state; default: under /dev/shm)"
+        ),
     )
     serve.add_argument(
         "--max-inflight",
@@ -358,6 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-clear",
         action="store_true",
         help="print refreshes sequentially instead of clearing the screen",
+    )
+    top.add_argument(
+        "--pool",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "watch a multi-worker pool instead: per-worker rows (pid, "
+            "rps, in-flight, generation) from DIR's worker state files "
+            "plus a machine-total line"
+        ),
     )
 
     query = sub.add_parser(
@@ -658,6 +706,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_shards=args.shards,
             stages=args.stages,
             artifact_store=store,
+            shard_workers=args.shard_workers,
         )
         _RUN_ARTIFACTS.update(config=config, result=result)
     else:
@@ -754,6 +803,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             config,
             n_shards=args.shards,
             artifact_store=_artifact_store(args),
+            shard_workers=args.shard_workers,
         )
         _RUN_ARTIFACTS.update(config=config, result=result)
     else:
@@ -906,7 +956,15 @@ def _cmd_release(args: argparse.Namespace) -> int:
 
 
 def _sniff_snapshot_kind(path: Path) -> str:
-    """``release`` (as2org JSON-lines) or ``mapping`` (OrgMapping JSON)."""
+    """``release`` (as2org JSON-lines), ``mapping`` (OrgMapping JSON) or
+    ``blob`` (compiled snapshot)."""
+    from .serve.shm import BLOB_MAGIC, BLOB_SUFFIX
+
+    if path.suffix == BLOB_SUFFIX:
+        return "blob"
+    with open(path, "rb") as fh:
+        if fh.read(len(BLOB_MAGIC)) == BLOB_MAGIC:
+            return "blob"
     if path.suffix == ".gz" or path.suffix == ".jsonl":
         return "release"
     import json as _json
@@ -1002,8 +1060,11 @@ def _build_service(args: argparse.Namespace):
     )
     if args.snapshot is not None:
         path: Path = args.snapshot
-        if _sniff_snapshot_kind(path) == "release":
+        kind = _sniff_snapshot_kind(path)
+        if kind == "release":
             snapshot = service.store.load_from_release_file(path)
+        elif kind == "blob":
+            snapshot = service.store.load_from_blob_file(path)
         else:
             snapshot = service.store.load_from_mapping_file(path)
     else:
@@ -1063,6 +1124,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.rollback:
         return _cmd_rollback_client(args)
+    if args.workers > 1:
+        return _cmd_serve_pool(args)
     service = _build_service(args)
     server = QueryServer(service, host=args.host, port=args.port)
     sampler = None
@@ -1109,6 +1172,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_pool(args: argparse.Namespace) -> int:
+    """``borges serve --workers N``: the multi-process tier.
+
+    The snapshot is loaded once (any kind ``--snapshot`` accepts, or a
+    fresh pipeline run), compiled to one read-only blob, and N forked
+    workers map it behind ``SO_REUSEPORT``.  A blob snapshot skips the
+    compile — its bytes are republished as-is.
+    """
+    from .serve.shm import BlobIndex, WorkerConfig, WorkerPool, compile_index
+
+    service = _build_service(args)
+    index = service.store.current().index
+    blob = (
+        bytes(index._buf)
+        if isinstance(index, BlobIndex)
+        else compile_index(index)
+    )
+    config = WorkerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        history_limit=args.history,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        deadline=args.deadline_ms / 1000.0,
+    )
+    pool = WorkerPool(config, state_dir=args.pool_state)
+    pool.start(blob)
+    print(
+        f"serving on {pool.url} with {args.workers} worker processes "
+        f"over one {len(blob):,}-byte shared snapshot  (Ctrl-C to stop)"
+    )
+    print(f"  pool state: {pool.state_dir}")
+    print(f"  watch: borges top --pool {pool.state_dir}")
+    asns = service.store.current().index.asns()
+    if asns:
+        print(f"  try: curl {pool.url}/v1/asn/{asns[0]}")
+    pool.serve_until_interrupt()
+    print(f"pool stopped after {pool.respawns} worker respawns")
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from .serve.top import run_top
 
@@ -1118,6 +1223,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         interval=args.interval,
         iterations=args.iterations,
         clear=not args.no_clear,
+        pool=args.pool,
     )
 
 

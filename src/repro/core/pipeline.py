@@ -477,6 +477,7 @@ def run_sharded(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     artifact_store: Optional[ArtifactStore] = None,
+    shard_workers: str = "thread",
 ) -> ShardedBorgesResult:
     """Run the pipeline sharded: partition → N stage DAGs → reduce.
 
@@ -497,7 +498,21 @@ def run_sharded(
     profile, where shards run sequentially (each shard's pipeline is
     already sequential under chaos) so injected faults remain a pure
     function of the profile and seed.
+
+    *shard_workers* selects the concurrency substrate: ``"thread"``
+    (default) shares one process; ``"process"`` forks one child per
+    shard via :func:`~repro.serve.shm.pool.run_forked`, escaping the
+    GIL for CPU-bound stages.  The reduce is associative and the
+    partition closed, so the combined mapping is byte-identical across
+    modes; process mode trades away shard spans in the parent tracer
+    and in-memory artifact-cache sharing (a disk-backed cache dir is
+    shared fine).
     """
+    if shard_workers not in ("thread", "process"):
+        raise ValueError(
+            "shard_workers must be 'thread' or 'process', "
+            f"got {shard_workers!r}"
+        )
     config = (config or BorgesConfig()).validate()
     spans = tracer if tracer is not None else get_tracer()
     metrics = registry if registry is not None else get_registry()
@@ -540,22 +555,34 @@ def run_sharded(
             else min(len(pipelines), max(1, config.executor.max_workers))
         )
 
-        durations: List[float] = [0.0] * len(pipelines)
-
-        def run_one(index: int) -> BorgesResult:
+        def run_one(index: int):
             start = time.perf_counter()
             with spans.span("pipeline.shard", shard=index):
                 result = pipelines[index].run(stages=stages)
-            durations[index] = time.perf_counter() - start
-            return result
+            return result, time.perf_counter() - start
 
         if workers == 1:
-            shard_results = [run_one(i) for i in range(len(pipelines))]
+            outcomes = [run_one(i) for i in range(len(pipelines))]
+        elif shard_workers == "process":
+            # Fork one child per shard (results come back pickled over a
+            # pipe); the callables are inherited, not pickled, which is
+            # why this rides the fork-based run_forked plumbing.
+            from ..serve.shm.pool import run_forked
+
+            outcomes = run_forked(
+                [
+                    (lambda i=i: run_one(i))
+                    for i in range(len(pipelines))
+                ],
+                max_workers=workers,
+            )
         else:
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="borges-shard"
             ) as pool:
-                shard_results = list(pool.map(run_one, range(len(pipelines))))
+                outcomes = list(pool.map(run_one, range(len(pipelines))))
+        shard_results = [result for result, _ in outcomes]
+        durations = [duration for _, duration in outcomes]
 
         # -- reduce --------------------------------------------------------
         features: Dict[str, FeatureClusters] = {}

@@ -22,7 +22,12 @@ them, the way downstream tools consume CAIDA's AS2Org:
   including a multi-threaded overload mode with response-class
   accounting and per-request trace-context propagation;
 * :mod:`repro.serve.top` — the ``borges top`` terminal dashboard,
-  polling ``/metrics`` + ``/v1/admin/slo`` into a live view.
+  polling ``/metrics`` + ``/v1/admin/slo`` into a live view;
+* :mod:`repro.serve.shm` — the multi-worker tier: snapshot→blob
+  compiler, zero-copy :class:`~repro.serve.shm.BlobIndex` reader, and
+  the :class:`~repro.serve.shm.WorkerPool` supervisor forking N query
+  servers over one shared read-only mapping (``borges serve
+  --workers N``).
 
 Observability rides through the whole stack: every HTTP response
 carries ``x-borges-trace-id``, request outcomes feed the
@@ -38,15 +43,25 @@ from .index import AsnRecord, MappingIndex, OrgRecord, org_handle, tokenize
 from .loadgen import (
     RESPONSE_CLASSES,
     SLOWEST_REPORTED,
+    HttpConnectionPool,
     LoadGenerator,
     LoadReport,
     ZipfianSampler,
     percentile,
+    run_pipelined,
 )
 from .service import ENDPOINTS, QueryService
 from .store import Snapshot, SnapshotStore
 from .httpd import MAX_BATCH_ASNS, MAX_CONTENT_LENGTH, QueryServer
-from .top import TopView, run_top
+from .top import PoolTopView, TopView, run_top
+from .shm import (
+    BlobIndex,
+    SegmentStore,
+    WorkerConfig,
+    WorkerPool,
+    compile_index,
+    map_blob_file,
+)
 
 __all__ = [
     "AdmissionController",
@@ -62,6 +77,7 @@ __all__ = [
     "SLOWEST_REPORTED",
     "ZipfianSampler",
     "percentile",
+    "PoolTopView",
     "TopView",
     "run_top",
     "ENDPOINTS",
@@ -71,4 +87,12 @@ __all__ = [
     "MAX_BATCH_ASNS",
     "MAX_CONTENT_LENGTH",
     "QueryServer",
+    "BlobIndex",
+    "HttpConnectionPool",
+    "SegmentStore",
+    "WorkerConfig",
+    "WorkerPool",
+    "compile_index",
+    "map_blob_file",
+    "run_pipelined",
 ]

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import math
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -124,6 +125,10 @@ def _make_handler(service: QueryService):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "borges-serve"
+        # The handler writes status line, headers and body as separate
+        # sends; with Nagle on, the body send waits out the client's
+        # delayed ACK (~40 ms) on every keep-alive request.
+        disable_nagle_algorithm = True
 
         # Per-request state installed by _dispatch before routing.  A
         # handler instance serves one connection's requests sequentially,
@@ -516,6 +521,21 @@ def _make_handler(service: QueryService):
     return Handler
 
 
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that binds with ``SO_REUSEPORT``.
+
+    Multiple worker processes bind+listen on the *same* address and the
+    kernel load-balances accepted connections across them — the fan-in
+    mechanism of the multi-worker serve tier.  Set before ``bind`` (not
+    via ``allow_reuse_port``, which only exists on newer Pythons).
+    """
+
+    def server_bind(self) -> None:
+        if hasattr(socket, "SO_REUSEPORT"):
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
 class QueryServer:
     """Lifecycle wrapper: bind, serve in a daemon thread, stop cleanly."""
 
@@ -524,11 +544,11 @@ class QueryServer:
         service: QueryService,
         host: str = "127.0.0.1",
         port: int = 0,
+        reuse_port: bool = False,
     ) -> None:
         self.service = service
-        self._httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(service)
-        )
+        server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
+        self._httpd = server_cls((host, port), _make_handler(service))
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 

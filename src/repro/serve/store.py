@@ -483,6 +483,39 @@ class SnapshotStore:
         index = MappingIndex.build(mapping, whois=whois)
         return self.swap(index, source="release-file", label=str(path))
 
+    def load_from_blob_file(self, path: Union[str, Path]) -> Snapshot:
+        """Load a compiled snapshot blob as the active generation.
+
+        The blob is mapped read-only and served *as the index* — a
+        :class:`~repro.serve.shm.reader.BlobIndex` duck-types the full
+        ``MappingIndex`` read API with byte-identical responses, so every
+        endpoint works unchanged.  Verification (magic, layout, payload
+        SHA-256) happens on map; a corrupt blob is quarantined exactly
+        like a corrupt release or mapping file.
+        """
+        from .shm.blob import BlobFormatError
+        from .shm.segment import map_blob_file
+
+        path = Path(path)
+        try:
+            index = map_blob_file(path)
+        except OSError as exc:
+            raise DataError(f"cannot read blob file {path}: {exc}") from exc
+        except BlobFormatError as exc:
+            raise self._integrity_failure("blob", str(exc), path) from exc
+        return self.swap(index, source="blob", label=str(path))
+
+    def advance_generation(self, minimum: int) -> None:
+        """Ensure the next installed generation is numbered ≥ *minimum*.
+
+        Pool workers use this so their response ``generation`` matches
+        the pool-wide pointer generation: a worker respawned mid-stream
+        (or started late) jumps its counter forward instead of replaying
+        1, 2, 3 while its siblings serve generation N.
+        """
+        with self._lock:
+            self._next_generation = max(self._next_generation, minimum)
+
     def load_from_artifact_store(
         self, store: ArtifactStore, fingerprint: str
     ) -> Snapshot:

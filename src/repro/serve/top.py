@@ -18,7 +18,8 @@ from __future__ import annotations
 import json
 import sys
 import time
-from typing import Dict, List, Optional, TextIO, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 from urllib.error import URLError
 from urllib.request import urlopen
 
@@ -218,6 +219,110 @@ class TopView:
         return "\n".join(lines) + "\n"
 
 
+class PoolTopView:
+    """Per-worker dashboard for a :class:`~repro.serve.shm.WorkerPool`.
+
+    Reads the pool's state directory — ``pool.json`` for the supervisor
+    posture and ``worker-N.json`` for each worker's pid and private
+    admin port — then scrapes every worker's own ``/metrics``.  Rendered
+    as one row per worker (pid, generation, request rate from
+    ``serve_http_requests_total`` deltas, admission in-flight) plus a
+    machine-total line, which is the number the whole multi-worker tier
+    exists to move.
+    """
+
+    def __init__(self, state_dir: Union[str, Path]) -> None:
+        self.state_dir = Path(state_dir)
+        self._previous: Dict[int, Tuple[float, float]] = {}  # worker → (total, at)
+
+    def _read_json(self, name: str) -> Optional[dict]:
+        try:
+            document = json.loads(
+                (self.state_dir / name).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def poll(self) -> Dict[str, object]:
+        """Pool state + one ``/metrics`` scrape per live worker."""
+        state: Dict[str, object] = {"at": time.time(), "error": ""}
+        pool = self._read_json("pool.json")
+        if pool is None:
+            state["error"] = f"no pool state at {self.state_dir / 'pool.json'}"
+            return state
+        state["pool"] = pool
+        workers: List[Dict[str, object]] = []
+        for index in range(int(pool.get("workers", 0))):
+            worker = self._read_json(f"worker-{index}.json") or {
+                "worker": index
+            }
+            admin_port = worker.get("admin_port")
+            if admin_port:
+                host = str(pool.get("host", "127.0.0.1"))
+                try:
+                    worker["metrics"] = parse_prometheus_text(
+                        _fetch(f"http://{host}:{admin_port}/metrics")
+                    )
+                except (URLError, OSError, ValueError) as exc:
+                    worker["scrape_error"] = str(exc)
+            workers.append(worker)
+        state["workers"] = workers
+        return state
+
+    def render(self, state: Dict[str, object]) -> str:
+        at = state["at"]
+        lines = [
+            f"borges top — pool {self.state_dir} — "
+            f"{time.strftime('%H:%M:%S', time.localtime(at))}"  # type: ignore[arg-type]
+        ]
+        if state.get("error"):
+            lines.append(f"  {state['error']}")
+            return "\n".join(lines) + "\n"
+        pool = state["pool"]  # type: ignore[assignment]
+        lines.append(
+            f"  supervisor pid {pool.get('supervisor_pid', '?')}"  # type: ignore[union-attr]
+            f"   {pool.get('host')}:{pool.get('port')}"  # type: ignore[union-attr]
+            f"   generation {pool.get('generation', 0)}"  # type: ignore[union-attr]
+            f"   respawns {pool.get('respawns', 0)}"  # type: ignore[union-attr]
+        )
+        lines.append("")
+        lines.append(
+            "  worker      pid   gen       rps   in-flight"
+        )
+        total_rate = 0.0
+        for worker in state.get("workers", []):  # type: ignore[union-attr]
+            index = int(worker.get("worker", -1))
+            metrics = worker.get("metrics")
+            if not isinstance(metrics, dict):
+                reason = worker.get("scrape_error", "no state file")
+                lines.append(f"  {index:>6}        —     —         —   ({reason})")
+                continue
+            requests = sum(
+                metrics.get("serve_http_requests_total", {}).values()
+            )
+            previous_total, previous_at = self._previous.get(
+                index, (requests, 0.0)
+            )
+            elapsed = at - previous_at if previous_at else 0.0  # type: ignore[operator]
+            rate = (
+                max(0.0, requests - previous_total) / elapsed
+                if elapsed
+                else 0.0
+            )
+            self._previous[index] = (requests, at)  # type: ignore[assignment]
+            total_rate += rate
+            inflight_series = metrics.get("serve_admission_inflight", {})
+            inflight = next(iter(inflight_series.values()), 0.0)
+            lines.append(
+                f"  {index:>6}  {worker.get('pid', 0):>7}"
+                f"  {worker.get('generation', 0):>4}"
+                f"  {rate:8.1f}   {inflight:9.0f}"
+            )
+        lines.append(f"  total              {total_rate:14.1f} req/s (machine)")
+        return "\n".join(lines) + "\n"
+
+
 def run_top(
     host: str = "127.0.0.1",
     port: int = 8080,
@@ -225,6 +330,7 @@ def run_top(
     iterations: int = 0,
     clear: bool = True,
     stream: Optional[TextIO] = None,
+    pool: Optional[Union[str, Path]] = None,
 ) -> int:
     """Poll and render until interrupted (or *iterations* refreshes).
 
@@ -233,15 +339,24 @@ def run_top(
     poll cannot reach the server at all (one-line diagnosis, no
     dashboard), 0 otherwise.  Scrape failures *after* a successful first
     poll render inline instead — a restarting server is worth watching.
+
+    With *pool* set to a :class:`~repro.serve.shm.WorkerPool` state
+    directory the dashboard switches to the per-worker view
+    (:class:`PoolTopView`) and ``host``/``port`` are ignored.
     """
     out = stream if stream is not None else sys.stdout
-    view = TopView(f"http://{host}:{port}")
+    if pool is not None:
+        view: Union[TopView, PoolTopView] = PoolTopView(pool)
+        unreachable = f"no worker pool at {pool}"
+    else:
+        view = TopView(f"http://{host}:{port}")
+        unreachable = f"server unreachable at {host}:{port}"
     count = 0
     try:
         while True:
             state = view.poll()
             if count == 0 and state.get("error"):
-                out.write(f"server unreachable at {host}:{port}\n")
+                out.write(unreachable + "\n")
                 out.flush()
                 return 1
             rendered = view.render(state)

@@ -137,6 +137,7 @@ class SnapshotArchive:
         label: str = "",
         dataset_digest: str = "",
         meta: Optional[Dict[str, object]] = None,
+        index=None,
     ) -> Dict[str, object]:
         """Write *mapping* as the next generation; returns the entry header.
 
@@ -146,6 +147,16 @@ class SnapshotArchive:
         leaves a partial file whose digest check fails on read — it is
         quarantined there, and its generation number is burned, never
         reassigned.
+
+        With *index* (the already-built
+        :class:`~repro.serve.index.MappingIndex` for this mapping) a
+        compiled-blob sidecar (``gen-NNNNNN.blob``) is written **after**
+        the JSON entry is durable, so a multi-worker serve tier can map
+        the generation without re-building the index.  The sidecar is
+        strictly derived data: a crash between entry and sidecar leaves
+        a valid generation whose blob is simply absent (``read_blob``
+        says so), never the reverse — the same crash-ordering the watch
+        journal relies on.
         """
         self.prune()
         if self.free_bytes_floor:
@@ -185,6 +196,8 @@ class SnapshotArchive:
                 os.fsync(fh.fileno())
         except FileExistsError:
             raise ArchiveImmutabilityError(generation, str(path)) from None
+        if index is not None:
+            self._write_blob(generation, index)
         self._registry.counter(
             "watch_archive_publishes_total", "Generations written to the archive"
         ).inc()
@@ -200,6 +213,66 @@ class SnapshotArchive:
         )
         _LOG.info("archived generation %d (%s)", generation, label)
         return {k: v for k, v in entry.items() if k != "mapping"}
+
+    # -- compiled-blob sidecars --------------------------------------------
+
+    def blob_path(self, generation: int) -> Path:
+        return self.root / f"gen-{generation:06d}.blob"
+
+    def has_blob(self, generation: int) -> bool:
+        return self.blob_path(generation).exists()
+
+    def _write_blob(self, generation: int, index) -> None:
+        from ..serve.shm.blob import compile_index
+
+        path = self.blob_path(generation)
+        blob = compile_index(index)
+        try:
+            with open(path, "xb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except FileExistsError:
+            raise ArchiveImmutabilityError(generation, str(path)) from None
+        self._registry.counter(
+            "watch_archive_blob_publishes_total",
+            "Compiled-blob sidecars written to the archive",
+        ).inc()
+        _LOG.info(
+            "archived blob sidecar for generation %d (%d bytes)",
+            generation, len(blob),
+        )
+
+    def read_blob(self, generation: int) -> bytes:
+        """One generation's verified compiled blob.
+
+        Raises :class:`~repro.errors.UnknownGenerationError` when the
+        generation has no sidecar (pre-sidecar entries, or a crash
+        between entry and sidecar) and
+        :class:`~repro.errors.SnapshotIntegrityError` — after
+        quarantining the file — when the blob fails verification.
+        Sidecars are derived data, so a missing or corrupt one never
+        invalidates the JSON entry it rides along with.
+        """
+        from ..serve.shm.blob import BlobFormatError, verify_blob
+
+        path = self.blob_path(generation)
+        if not path.exists():
+            raise UnknownGenerationError(
+                generation, "no compiled blob in archive"
+            )
+        blob = path.read_bytes()
+        try:
+            verify_blob(blob)
+        except BlobFormatError as exc:
+            quarantined = self._quarantine(path, f"blob sidecar: {exc}")
+            raise SnapshotIntegrityError(
+                source="archive-blob",
+                reason=f"blob sidecar for generation {generation}: {exc}",
+                path=str(path),
+                quarantined_to=quarantined,
+            ) from exc
+        return blob
 
     # -- reading -----------------------------------------------------------
 
@@ -308,6 +381,12 @@ class SnapshotArchive:
                 _LOG.warning(
                     "cannot prune archive generation %d: %s", generation, exc
                 )
+            # The blob sidecar is derived from the entry; it never
+            # outlives it.
+            try:
+                self.blob_path(generation).unlink()
+            except OSError:
+                pass
         if removed:
             self._registry.counter(
                 "watch_archive_pruned_total",
@@ -327,6 +406,9 @@ class SnapshotArchive:
         return {
             "root": str(self.root),
             "entries": len(generations),
+            "blob_sidecars": sum(
+                1 for g in generations if self.has_blob(g)
+            ),
             "oldest_generation": generations[0] if generations else 0,
             "newest_generation": generations[-1] if generations else 0,
             "total_bytes": self.total_bytes(),

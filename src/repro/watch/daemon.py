@@ -395,6 +395,10 @@ class WatchDaemon:
                 label=result.label or f"cycle {self.cycles}",
                 dataset_digest=digest,
                 meta={"gate": decision.metrics},
+                # The gate already built this generation's index; the
+                # compiled-blob sidecar lets a multi-worker serve tier
+                # map it without rebuilding.
+                index=candidate,
             )
         except ReproError as exc:
             error = f"{type(exc).__name__}: {exc}"
