@@ -1,0 +1,110 @@
+"""Shard-resilience benchmark: what shard-surface chaos costs a run.
+
+Runs the sharded pipeline (4 shards, same universe, same seeds) under
+each shard-surface fault profile and reports wall time, retries,
+quarantined shards and surviving coverage.  The contracts:
+
+* ``shard-flaky`` must converge to the clean sharded mapping (retries
+  absorb attempt-0 crashes);
+* ``shard-crash``/``shard-hang`` may quarantine shards but never the
+  run, and a checkpointed resume under the clean profile must converge
+  to the clean mapping byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import BorgesConfig
+from repro.core import run_sharded
+from repro.metrics import org_factor_from_mapping
+from repro.obs import MetricsRegistry, Tracer, build_manifest, write_manifest
+
+from conftest import TELEMETRY_ENV
+
+N_SHARDS = 4
+SHARD_PROFILES = ("none", "shard-flaky", "shard-crash", "shard-hang")
+
+
+def run_under_profile(ctx, profile, *, checkpoint=None, resume=False):
+    u = ctx.universe
+    config = (
+        BorgesConfig()
+        if profile == "none"
+        else BorgesConfig().with_fault_profile(profile)
+    )
+    registry = MetricsRegistry()
+    result = run_sharded(
+        u.whois, u.pdb, u.web, config, N_SHARDS,
+        registry=registry,
+        tracer=Tracer(),
+        shard_retries=2,
+        shard_deadline=2.0 if profile == "shard-hang" else None,
+        checkpoint_path=checkpoint,
+        resume=resume,
+    )
+    return result, registry
+
+
+def _write_shard_manifest(result, registry, profile) -> None:
+    out_dir = os.environ.get(TELEMETRY_ENV)
+    if not out_dir:
+        return
+    manifest = build_manifest(
+        result=result,
+        registry=registry,
+        extra={"bench": f"shard_resilience_{profile.replace('-', '_')}"},
+    )
+    path = write_manifest(
+        Path(out_dir) / f"manifest_shard_resilience_{profile}.json", manifest
+    )
+    print(f"telemetry manifest written to {path}")
+
+
+@pytest.mark.parametrize("profile", SHARD_PROFILES)
+def test_shard_chaos_profile(benchmark, ctx, profile):
+    started = time.perf_counter()
+    result, registry = benchmark.pedantic(
+        lambda: run_under_profile(ctx, profile), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+    fault = result.diagnostics["fault_tolerance"]
+    theta = org_factor_from_mapping(result.mapping)
+    print(
+        f"\nprofile={profile:<12} theta={theta:.4f} "
+        f"orgs={len(result.mapping):,} "
+        f"retries={fault['retry_total']} "
+        f"quarantined={len(result.failed_shards)}/{N_SHARDS} "
+        f"degraded={result.degraded} wall={elapsed:.1f}s"
+    )
+    _write_shard_manifest(result, registry, profile)
+    # Chaos may cost shards, never the run.
+    assert len(result.mapping) > 0
+    if profile in ("none", "shard-flaky"):
+        assert result.failed_shards == []
+        assert result.degraded is False
+
+
+def test_shard_flaky_matches_clean_mapping(ctx):
+    clean, _ = run_under_profile(ctx, "none")
+    flaky, _ = run_under_profile(ctx, "shard-flaky")
+    assert flaky.mapping.clusters() == clean.mapping.clusters()
+
+
+def test_crash_then_resume_converges(ctx, tmp_path):
+    checkpoint = tmp_path / "bench-ckpt.jsonl"
+    degraded, _ = run_under_profile(
+        ctx, "shard-crash", checkpoint=checkpoint
+    )
+    resumed, _ = run_under_profile(
+        ctx, "none", checkpoint=checkpoint, resume=True
+    )
+    clean, _ = run_under_profile(ctx, "none")
+    assert resumed.failed_shards == []
+    assert resumed.mapping.clusters() == clean.mapping.clusters()
+    if degraded.failed_shards:
+        assert resumed.resumed_shards, "resume must reuse journaled shards"

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI shard-chaos check: crashes and hangs must degrade, never fail.
+
+Runs ``borges run --shards 4`` over a ~100k-ASN universe three times in
+fresh subprocesses:
+
+1. under the ``shard-crash`` profile with a checkpoint — the run must
+   *complete* (exit 0), report a degraded salvaged mapping with
+   quarantined shards, and journal every surviving shard;
+2. under the ``shard-hang`` profile with a short ``--shard-deadline`` —
+   hung shard attempts must be killed at the deadline and the whole run
+   stay inside a wall-clock ceiling;
+3. with the fault cleared and ``--resume`` over the crash run's
+   checkpoint — only the previously-failed shards may re-run, and the
+   final mapping must be **byte-identical** to a clean sharded run.
+
+Run from the repository root::
+
+    python scripts/shard_chaos_check.py
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ~100k ASNs under the default universe config.
+DEFAULT_ORGS = 67_700
+
+#: Wall-clock ceiling for the shard-hang run: 4 shards × 2 attempts ×
+#: the deadline, plus pipeline time for the surviving shards.  The
+#: deadline is far above a legitimate ~25k-ASN shard (a few seconds)
+#: and far below the injected 120 s hang.
+HANG_DEADLINE = 30.0
+HANG_WALL_CEILING = 600.0
+
+
+def run_borges(
+    label: str,
+    tmp: Path,
+    orgs: int,
+    *,
+    profile: str = "",
+    checkpoint: Path = None,
+    resume: bool = False,
+    deadline: float = 0.0,
+    expect_degraded: bool = False,
+) -> dict:
+    mapping = tmp / f"mapping-{label}.json"
+    manifest = tmp / f"manifest-{label}.json"
+    cmd = [sys.executable, "-m", "repro.cli", "--telemetry-out", str(manifest)]
+    if profile:
+        cmd += ["--fault-profile", profile]
+    cmd += [
+        "--seed", "11",
+        "--orgs", str(orgs),
+        "run",
+        "--shards", "4",
+        "--shard-retries", "1",
+        "--save-mapping", str(mapping),
+    ]
+    if checkpoint is not None:
+        cmd += ["--checkpoint", str(checkpoint)]
+    if resume:
+        cmd += ["--resume"]
+    if deadline:
+        cmd += ["--shard-deadline", str(deadline)]
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    start = time.perf_counter()
+    proc = subprocess.run(
+        cmd, cwd=ROOT, env=env, capture_output=True, text=True
+    )
+    seconds = time.perf_counter() - start
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"{label}: borges run failed ({proc.returncode}) — chaos must "
+            f"degrade the run, never fail it"
+        )
+    degraded = "DEGRADED" in proc.stdout
+    if degraded != expect_degraded:
+        print(proc.stdout)
+        raise SystemExit(
+            f"{label}: degraded={degraded}, expected {expect_degraded}"
+        )
+    payload = json.loads(manifest.read_text())
+    fault = payload.get("diagnostics", {}).get("fault_tolerance", {})
+    print(
+        f"{label}: {seconds:,.1f}s, degraded={degraded}, "
+        f"quarantined={fault.get('failed_shards')}, "
+        f"resumed={fault.get('resumed_shards')}, "
+        f"retries={fault.get('retry_total')}, "
+        f"org_count={payload.get('org_count'):,}"
+    )
+    return {
+        "mapping": mapping.read_bytes(),
+        "fault": fault,
+        "seconds": seconds,
+        "stdout": proc.stdout,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--orgs", type=int, default=DEFAULT_ORGS)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        checkpoint = tmp / "checkpoint.jsonl"
+
+        crash = run_borges(
+            "shard-crash", tmp, args.orgs,
+            profile="shard-crash", checkpoint=checkpoint,
+            expect_degraded=True,
+        )
+        if not crash["fault"].get("failed_shards"):
+            print(
+                "FAIL: shard-crash at 4 shards quarantined nothing",
+                file=sys.stderr,
+            )
+            return 1
+
+        hang = run_borges(
+            "shard-hang", tmp, args.orgs,
+            profile="shard-hang", deadline=HANG_DEADLINE,
+            expect_degraded=True,
+        )
+        failed = hang["fault"].get("failed_shards") or []
+        reasons = {
+            record.get("exit_reason")
+            for record in hang["fault"].get("attempts", [])
+            if record.get("shard") in failed
+        }
+        if reasons - {"deadline"}:
+            print(
+                f"FAIL: hung shards quarantined for {sorted(reasons)}, "
+                f"expected only the deadline watchdog",
+                file=sys.stderr,
+            )
+            return 1
+        if hang["seconds"] > HANG_WALL_CEILING:
+            print(
+                f"FAIL: shard-hang run took {hang['seconds']:,.1f}s "
+                f"(> {HANG_WALL_CEILING:,.0f}s) — the watchdog is not "
+                f"bounding hung attempts",
+                file=sys.stderr,
+            )
+            return 1
+
+        resumed = run_borges(
+            "resume", tmp, args.orgs,
+            checkpoint=checkpoint, resume=True,
+        )
+        if resumed["fault"].get("failed_shards"):
+            print("FAIL: clean resume still quarantined shards", file=sys.stderr)
+            return 1
+        reused = resumed["fault"].get("resumed_shards") or []
+        if not reused or len(reused) >= 4:
+            print(
+                f"FAIL: resume reused {len(reused)}/4 shards — expected "
+                f"only the crashed shards to re-run",
+                file=sys.stderr,
+            )
+            return 1
+
+        clean = run_borges("clean", tmp, args.orgs, checkpoint=None)
+
+    if resumed["mapping"] != clean["mapping"]:
+        print(
+            "FAIL: resumed mapping differs from the clean sharded run",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"resume converged: byte-identical to clean "
+        f"({len(clean['mapping']):,} bytes), reused shards {reused}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,14 @@ failure mode the daemon claims to survive:
   bit-flipped on disk; a time-travel query for it must answer 404 (and
   quarantine the file), never a 5xx, and never touch the active path.
 
+A second scenario exercises *sharded* refreshes: a refresh that loses a
+shard to chaos produces a salvaged (coverage-reduced) mapping that the
+publish gate must block — serving never flips to a degraded generation
+without the gate recording why — and a kill mid-sharded-refresh leaves
+the run checkpoint holding the completed shards, so the next cycle
+re-runs strictly fewer shards than the total and publishes a mapping
+built from journaled + fresh shards.
+
 Exit assertions: zero 5xx across all loadgen traffic, the journal
 replays cleanly afterwards (no dropped tail, chain intact), no archive
 entry was ever overwritten (first-seen bytes stay byte-identical),
@@ -363,6 +371,161 @@ def run_soak(cycles: int, seed: int) -> int:
     return 0
 
 
+def run_sharded_kill_scenario() -> int:
+    """Kill a sharded refresh mid-run; the next cycle must resume.
+
+    Four cycles against one daemon (restarted once, the kill):
+
+    1. a clean 4-shard refresh publishes;
+    2. a refresh that loses a shard to ``shard-crash`` hands the daemon
+       a salvaged, coverage-reduced mapping — the publish gate must
+       block it and serving must stay on the previous generation;
+    3. a sharded refresh is killed after its surviving shards were
+       journaled to the run checkpoint (``SimulatedProcessKill``, the
+       same restart model the publish-crash soak uses);
+    4. after the restart, the clean re-run resumes from the checkpoint
+       — strictly fewer shards re-run than the total — and publishes.
+    """
+    from repro.config import BorgesConfig, UniverseConfig
+    from repro.core import run_sharded
+    from repro.universe import generate_universe
+
+    print("sharded-refresh kill scenario")
+    registry = MetricsRegistry()
+    n_shards = 4
+    u = generate_universe(UniverseConfig(seed=3, n_organizations=100))
+
+    with TemporaryDirectory() as tmp:
+        archive = SnapshotArchive(Path(tmp) / "archive", registry=registry)
+        journal_path = Path(tmp) / "journal.jsonl"
+        checkpoint_path = Path(tmp) / "archive" / "shard-checkpoint.jsonl"
+        store = SnapshotStore(registry=registry)
+        store.attach_archive(archive)
+
+        # One universe throughout: the gate decisions below then hinge
+        # purely on what the shard faults did (coverage loss from the
+        # quarantined shard), not on dataset drift.  The daemon's
+        # unchanged-digest skip is steered with an explicit digest.
+        state = {"digest": "shard-soak-1", "profile": "none", "kill": False}
+
+        def runner() -> WatchRunResult:
+            config = BorgesConfig()
+            if state["profile"] != "none":
+                config = config.with_fault_profile(state["profile"])
+            result = run_sharded(
+                u.whois, u.pdb, u.web, config, n_shards,
+                registry=registry,
+                shard_retries=0,
+                checkpoint_path=checkpoint_path,
+                resume=True,
+            )
+            if state["kill"]:
+                # The kill-during-refresh model: the surviving shards
+                # are already journaled (record_shard fsyncs as each
+                # lands), the process dies before the daemon sees a
+                # result — exactly the on-disk state of a real kill -9
+                # between shard K and K+1.
+                raise SimulatedProcessKill(
+                    "killed mid-sharded-refresh after checkpointing"
+                )
+            return WatchRunResult(
+                mapping=result.mapping,
+                dataset_digest=state["digest"],
+                label=f"{state['digest']} ({state['profile']})",
+                shard_posture=result.shard_posture(),
+            )
+
+        config = WatchConfig(
+            interval=0.0, thresholds=GateThresholds(),
+            max_restarts=10, restart_window=3600.0,
+        )
+
+        def build_daemon() -> WatchDaemon:
+            daemon = WatchDaemon(
+                store, archive, RunJournal(journal_path), runner,
+                config, registry=registry, sleep=lambda _s: None,
+            )
+            daemon.recover()
+            return daemon
+
+        daemon = build_daemon()
+
+        # Cycle 1: clean sharded refresh publishes generation 1.
+        expect(daemon.cycle() == "published", "cycle 1: clean sharded publish")
+        active = store.current()
+        posture = daemon.status()["last_shard_posture"]
+        expect(
+            posture is not None and posture["ok"] == n_shards,
+            f"cycle 1: posture {n_shards}/{n_shards} ok in daemon status",
+        )
+
+        # Cycle 2: a shard dies, the salvaged mapping loses its ASNs —
+        # the gate must refuse to serve the degraded generation.  The
+        # checkpoint is cleared first: with it, the chaos run would
+        # resume every shard from cycle 1 and never fault.
+        checkpoint_path.unlink()
+        state.update(digest="shard-soak-2", profile="shard-crash")
+        outcome = daemon.cycle()
+        expect(
+            outcome == "gate_blocked",
+            "cycle 2: salvaged (degraded) mapping blocked by publish gate",
+        )
+        decision = daemon.status()["last_gate_decision"]
+        expect(
+            decision is not None and not decision.get("allowed", True)
+            and decision.get("reasons"),
+            f"cycle 2: gate recorded why ({(decision or {}).get('reasons')})",
+        )
+        expect(
+            store.current().generation == active.generation,
+            "cycle 2: serving never flipped to the degraded generation",
+        )
+        expect(
+            (daemon.status()["last_shard_posture"] or {}).get("failed"),
+            "cycle 2: daemon status shows the quarantined shard",
+        )
+        # Cycle 3: kill -9 mid-refresh.  Chaos quarantines one shard;
+        # the survivors are journaled before the "process dies".  The
+        # blocked cycle already journaled the same surviving shards, so
+        # start the kill from an empty checkpoint to make the resume
+        # accounting unambiguous.
+        checkpoint_path.unlink()
+        state.update(digest="shard-soak-3", profile="shard-crash", kill=True)
+        try:
+            daemon.cycle()
+            expect(False, "cycle 3: kill fired")
+        except SimulatedProcessKill:
+            pass
+        expect(
+            store.current().generation == active.generation,
+            "cycle 3: serving survived the mid-refresh kill",
+        )
+
+        # Cycle 4: restart, fault cleared.  The refresh must resume
+        # from the checkpoint (fewer shards re-run than the total) and
+        # publish a clean mapping.
+        daemon = build_daemon()
+        state.update(digest="shard-soak-4", profile="none", kill=False)
+        expect(daemon.cycle() == "published", "cycle 4: resumed refresh published")
+        posture = daemon.status()["last_shard_posture"]
+        resumed = posture.get("resumed") or []
+        expect(
+            0 < len(resumed) < n_shards,
+            f"cycle 4: resumed {len(resumed)}/{n_shards} shards from the "
+            f"checkpoint (re-ran {n_shards - len(resumed)})",
+        )
+        expect(
+            posture["ok"] == n_shards and not posture["failed"],
+            "cycle 4: all shards accounted for, none quarantined",
+        )
+        expect(
+            store.current().generation > active.generation,
+            "cycle 4: serving flipped to the recovered generation",
+        )
+    print("sharded-refresh kill scenario passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -373,7 +536,10 @@ def main() -> int:
     args = parser.parse_args()
     if args.cycles < 10:
         sys.exit("--cycles must be >= 10 (the chaos schedule needs room)")
-    return run_soak(args.cycles, args.seed)
+    status = run_soak(args.cycles, args.seed)
+    if status:
+        return status
+    return run_sharded_kill_scenario()
 
 
 if __name__ == "__main__":

@@ -167,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
             "byte-identical either way)"
         ),
     )
+    _add_shard_fault_options(run)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
@@ -215,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="thread (default) or forked-process shard workers",
     )
+    _add_shard_fault_options(telemetry)
 
     sub.add_parser(
         "evolution", help="longitudinal study: theta/orgs per historical year"
@@ -538,6 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--restart-window", type=float, default=600.0,
         help="restart-budget window in seconds (default 600)",
     )
+    watch.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run each refresh sharded; completed shards are journaled "
+        "to <archive>/shard-checkpoint.jsonl so a mid-refresh crash "
+        "resumes from the finished shards (default 1 = unsharded)",
+    )
+    watch.add_argument(
+        "--shard-retries", type=int, default=1, metavar="N",
+        help="per-shard retry budget during sharded refreshes (default 1)",
+    )
+    watch.add_argument(
+        "--shard-deadline", type=float, default=0.0, metavar="SECONDS",
+        help="kill and retry a shard attempt running past SECONDS "
+        "(default 0 = no deadline)",
+    )
     return parser
 
 
@@ -554,6 +571,60 @@ def _add_snapshot_option(parser: argparse.ArgumentParser) -> None:
             "pipeline on a fresh synthetic universe"
         ),
     )
+
+
+def _add_shard_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "retry a failed/crashed/hung shard up to N more times before "
+            "quarantining it (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "kill a shard attempt that runs past SECONDS and retry it "
+            "(0 = no deadline; a hang fault profile implies one)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal each completed shard to PATH so a crashed or "
+            "degraded sharded run can be resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the checkpoint: shards already journaled for "
+            "this run identity are not re-run (default checkpoint path "
+            "borges-checkpoint.jsonl when --checkpoint is omitted)"
+        ),
+    )
+
+
+def _shard_fault_kwargs(args: argparse.Namespace) -> dict:
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = Path("borges-checkpoint.jsonl")
+    return {
+        "shard_retries": max(0, args.shard_retries),
+        "shard_deadline": args.shard_deadline or None,
+        "checkpoint_path": checkpoint,
+        "resume": args.resume,
+    }
 
 
 def _fault_profile_names() -> Sequence[str]:
@@ -647,13 +718,40 @@ def _shard_summary_lines(result) -> Sequence[str]:
         f"(largest component {partition.get('largest_component'):,})"
     ]
     for shard in result.diagnostics.get("shards", []):
+        status = str(shard.get("status", "ok"))
+        suffix = ""
+        if status == "quarantined":
+            suffix = (
+                f"  QUARANTINED after {shard.get('attempts', 0)} attempts"
+                f" ({shard.get('error', '')})"
+            )
+        elif status == "resumed":
+            suffix = "  resumed from checkpoint"
+        elif shard.get("degraded"):
+            suffix = "  DEGRADED"
         lines.append(
             f"  shard {shard['shard']}: {shard['asns']:>7,} ASNs "
             f"{shard['components']:>6,} components "
             f"{1000.0 * float(shard['duration_seconds']):>8.1f} ms  "
             f"{shard['llm_requests']:>5} llm requests"
-            + ("  DEGRADED" if shard.get("degraded") else "")
+            + suffix
         )
+    fault = result.diagnostics.get("fault_tolerance")
+    if isinstance(fault, dict):
+        posture = result.shard_posture() if hasattr(result, "shard_posture") else {}
+        lines.append(
+            f"shard posture: {posture.get('ok', 0)}/{posture.get('shards', 0)} ok, "
+            f"{len(fault.get('failed_shards', []))} quarantined, "
+            f"{len(fault.get('resumed_shards', []))} resumed, "
+            f"{fault.get('retry_total', 0)} retries"
+            + (" — SALVAGED (degraded mapping)" if fault.get("failed_shards") else "")
+        )
+        checkpoint = fault.get("checkpoint")
+        if isinstance(checkpoint, dict):
+            lines.append(
+                f"checkpoint: {checkpoint.get('path')} "
+                f"({len(checkpoint.get('completed_shards', []))} shards journaled)"
+            )
     return lines
 
 
@@ -707,6 +805,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             stages=args.stages,
             artifact_store=store,
             shard_workers=args.shard_workers,
+            **_shard_fault_kwargs(args),
         )
         _RUN_ARTIFACTS.update(config=config, result=result)
     else:
@@ -804,6 +903,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             n_shards=args.shards,
             artifact_store=_artifact_store(args),
             shard_workers=args.shard_workers,
+            **_shard_fault_kwargs(args),
         )
         _RUN_ARTIFACTS.update(config=config, result=result)
     else:
@@ -1344,10 +1444,29 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         if seed != universe_config.seed:
             universe_config = _dataclasses.replace(universe_config, seed=seed)
         universe = generate_universe(universe_config)
-        pipeline = BorgesPipeline(
-            universe.whois, universe.pdb, universe.web, config
-        )
-        result = pipeline.run()
+        shard_posture = None
+        if args.shards > 1:
+            from .core import run_sharded
+
+            # Every refresh journals completed shards and resumes from
+            # them: a mid-refresh crash re-runs only what's missing.
+            result = run_sharded(
+                universe.whois,
+                universe.pdb,
+                universe.web,
+                config,
+                n_shards=args.shards,
+                shard_retries=max(0, args.shard_retries),
+                shard_deadline=args.shard_deadline or None,
+                checkpoint_path=args.archive / "shard-checkpoint.jsonl",
+                resume=True,
+            )
+            shard_posture = result.shard_posture()
+        else:
+            pipeline = BorgesPipeline(
+                universe.whois, universe.pdb, universe.web, config
+            )
+            result = pipeline.run()
         precision = score_partition(
             result.mapping.clusters(), universe.ground_truth.true_clusters()
         ).pair_precision
@@ -1361,6 +1480,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             whois=universe.whois,
             pdb=universe.pdb,
             precision=precision,
+            shard_posture=shard_posture,
         )
 
     thresholds = GateThresholds(

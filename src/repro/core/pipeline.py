@@ -12,8 +12,9 @@ per-stage execution records, and module-level diagnostics.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence
@@ -21,20 +22,25 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..config import (
     TABLE_FEATURE_ORDER,
     BorgesConfig,
+    ExecutorConfig,
+    ResilienceConfig,
 )
-from ..digest import dataset_digest
+from ..digest import dataset_digest, stable_digest
+from ..errors import DataError
 from ..llm.client import ChatClient
 from ..llm.simulated import make_default_client
 from ..logutil import get_logger
 from ..obs.process import record_peak_rss
-from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.registry import DEFAULT_COUNT_BUCKETS, MetricsRegistry, get_registry
 from ..obs.tracer import Tracer, get_tracer
 from ..peeringdb import PDBSnapshot
 from ..resilience.faults import (
     FaultInjector,
     FaultyWeb,
     resolve_fault_profile,
+    shard_fault_decision,
 )
+from ..resilience.policy import RetryPolicy
 from ..types import Cluster
 from ..web.favicon import FaviconAPI
 from ..web.scraper import HeadlessScraper
@@ -452,6 +458,12 @@ class BorgesPipeline:
 # -- sharded execution ---------------------------------------------------------
 
 
+#: Per-attempt watchdog deadline applied when a hang-injecting fault
+#: profile is active and the caller did not pick one — without it a
+#: sleep-forever shard would block the run for ``shard_hang_seconds``.
+DEFAULT_HANG_DEADLINE = 15.0
+
+
 @dataclass
 class ShardedBorgesResult(BorgesResult):
     """A sharded run's combined result.
@@ -459,11 +471,36 @@ class ShardedBorgesResult(BorgesResult):
     Quacks like :class:`BorgesResult` (mapping, features, Table-3 rows,
     diagnostics, stage records — the latter carrying a ``shard`` key per
     record) and additionally exposes the partition plan and every
-    shard's own :class:`BorgesResult`.
+    shard's own :class:`BorgesResult`, plus the fault posture of the
+    run: which shards were quarantined, which were answered from the
+    run checkpoint, and what every executed shard's attempts looked
+    like.
     """
 
     partition: Optional[PartitionPlan] = None
     shard_results: List[BorgesResult] = field(default_factory=list)
+    #: Shard indices quarantined after exhausting their retry budget;
+    #: their ASNs are absent from the (degraded) mapping.
+    failed_shards: List[int] = field(default_factory=list)
+    #: One record per *executed* shard (ok or quarantined, not resumed):
+    #: attempts, retries, exit reason, duration, heartbeats.
+    shard_attempts: List[Dict[str, object]] = field(default_factory=list)
+    #: Shard indices answered from the run checkpoint instead of executed.
+    resumed_shards: List[int] = field(default_factory=list)
+
+    def shard_posture(self) -> Dict[str, object]:
+        """Compact fault posture for ``/healthz`` and ``borges top``."""
+        total = len(self.partition.shards) if self.partition else 0
+        return {
+            "shards": total,
+            "ok": total - len(self.failed_shards),
+            "failed": list(self.failed_shards),
+            "resumed": list(self.resumed_shards),
+            "retries": sum(
+                int(record.get("retries", 0)) for record in self.shard_attempts
+            ),
+            "degraded": self.degraded,
+        }
 
 
 def run_sharded(
@@ -478,6 +515,11 @@ def run_sharded(
     registry: Optional[MetricsRegistry] = None,
     artifact_store: Optional[ArtifactStore] = None,
     shard_workers: str = "thread",
+    shard_retries: int = 1,
+    shard_deadline: Optional[float] = None,
+    heartbeat_interval: float = 0.2,
+    checkpoint_path: Optional[object] = None,
+    resume: bool = False,
 ) -> ShardedBorgesResult:
     """Run the pipeline sharded: partition → N stage DAGs → reduce.
 
@@ -491,28 +533,51 @@ def run_sharded(
     cluster lists (:func:`~repro.core.merge.reduce_shard_clusters` —
     associative, hence exact) into one mapping over the full universe;
     because the partition is closed, that mapping is byte-identical to
-    the unsharded one.
+    the unsharded one *when every shard succeeded*.
 
-    Shards run concurrently on a thread pool bounded by
-    ``config.executor.max_workers``, except under an active fault
-    profile, where shards run sequentially (each shard's pipeline is
-    already sequential under chaos) so injected faults remain a pure
-    function of the profile and seed.
+    **Fault tolerance.**  Shards run under the supervised fan-out
+    (:func:`~repro.serve.shm.pool.run_supervised`): an attempt that
+    raises, crashes its forked child, or outlives *shard_deadline*
+    seconds (process mode: SIGKILL; thread mode: the watchdog abandons
+    the attempt) is retried up to *shard_retries* more times with
+    seeded-jitter backoff.  A shard that exhausts its budget is
+    *quarantined*: the run completes ``degraded`` over the survivors,
+    whose union is the salvaged mapping — restricted to the surviving
+    shards' ASNs, because the run knows nothing about the dead ones.
+    Only a run that loses *every* shard raises.
+
+    **Crash-safe resume.**  With *checkpoint_path*, every completed
+    shard's cluster lists are journaled as they land (digest-chained,
+    fsynced — see :mod:`repro.core.checkpoint`); with *resume* also
+    set, shards already journaled for the same run identity are
+    answered from the checkpoint instead of executed, so a crashed or
+    degraded run converges to the clean byte-identical mapping by
+    re-running only what's missing.
+
+    Shards run concurrently, bounded by ``config.executor.max_workers``,
+    except under an active fault profile, where shards run sequentially
+    (each shard's pipeline is already sequential under chaos) so
+    injected faults remain a pure function of the profile and seed.
+    Shard-surface chaos (``shard-crash``/``shard-hang``/``shard-flaky``)
+    is drawn in the parent via
+    :func:`~repro.resilience.faults.shard_fault_decision` and acted out
+    inside the shard attempt, identically across both worker modes.
 
     *shard_workers* selects the concurrency substrate: ``"thread"``
     (default) shares one process; ``"process"`` forks one child per
-    shard via :func:`~repro.serve.shm.pool.run_forked`, escaping the
-    GIL for CPU-bound stages.  The reduce is associative and the
-    partition closed, so the combined mapping is byte-identical across
-    modes; process mode trades away shard spans in the parent tracer
-    and in-memory artifact-cache sharing (a disk-backed cache dir is
-    shared fine).
+    shard, escaping the GIL for CPU-bound stages.  The reduce is
+    associative and the partition closed, so the combined mapping is
+    byte-identical across modes; process mode trades away shard spans
+    in the parent tracer and in-memory artifact-cache sharing (a
+    disk-backed cache dir is shared fine).
     """
     if shard_workers not in ("thread", "process"):
         raise ValueError(
             "shard_workers must be 'thread' or 'process', "
             f"got {shard_workers!r}"
         )
+    if shard_retries < 0:
+        raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
     config = (config or BorgesConfig()).validate()
     spans = tracer if tracer is not None else get_tracer()
     metrics = registry if registry is not None else get_registry()
@@ -521,6 +586,15 @@ def run_sharded(
         cache_dir = config.executor.artifact_cache_dir
         store = ArtifactStore(root=cache_dir) if cache_dir else ArtifactStore()
 
+    from ..serve.shm.pool import run_supervised
+    from .checkpoint import RunCheckpoint, run_identity
+
+    profile = resolve_fault_profile(config.resilience.fault_profile)
+    fault_active = profile.active
+    seed = config.resilience.fault_seed
+    if shard_deadline is None and profile.shard_hang > 0.0:
+        shard_deadline = DEFAULT_HANG_DEADLINE
+
     with spans.span("pipeline.sharded", shards=n_shards):
         with spans.span("pipeline.partition"):
             plan = partition_universe(whois, pdb, web, n_shards)
@@ -528,31 +602,65 @@ def run_sharded(
             "pipeline_shards", "shards in the last sharded run"
         ).set(len(plan.shards))
 
-        pipelines: List[BorgesPipeline] = []
+        # -- checkpoint / resume -------------------------------------------
+        checkpoint: Optional[RunCheckpoint] = None
+        completed: Dict[int, Dict[str, object]] = {}
+        if checkpoint_path is not None:
+            # The identity normalises resilience/executor config away:
+            # chaos profiles and worker counts change how a run executes,
+            # never what it computes, so a checkpoint written under
+            # faults is resumable by the clean re-run.
+            identity = run_identity(
+                {
+                    "whois": dataset_digest(whois),
+                    "pdb": dataset_digest(pdb),
+                    "web": dataset_digest(web),
+                },
+                stable_digest(
+                    dataclasses.replace(
+                        config,
+                        resilience=ResilienceConfig(),
+                        executor=ExecutorConfig(),
+                    )
+                ),
+                len(plan.shards),
+                stages or (),
+            )
+            checkpoint = RunCheckpoint(checkpoint_path)
+            if not resume:
+                checkpoint.reset()
+            completed = {
+                index: fields
+                for index, fields in checkpoint.begin(
+                    identity, len(plan.shards)
+                ).items()
+                if 0 <= index < len(plan.shards)
+            }
+        resumed = sorted(completed)
+        to_run = [s.index for s in plan.shards if s.index not in completed]
+
+        pipelines: Dict[int, BorgesPipeline] = {}
         for shard in plan.shards:
+            if shard.index not in to_run:
+                continue
             with spans.span("pipeline.shard_datasets", shard=shard.index):
                 shard_whois = whois.restricted_to(shard.asns)
                 shard_pdb = pdb.restricted_to(shard.asns)
-            pipelines.append(
-                BorgesPipeline(
-                    shard_whois,
-                    shard_pdb,
-                    web,
-                    config,
-                    tracer=tracer,
-                    registry=registry,
-                    artifact_store=store,
-                    metric_labels={"shard": str(shard.index)},
-                )
+            pipelines[shard.index] = BorgesPipeline(
+                shard_whois,
+                shard_pdb,
+                web,
+                config,
+                tracer=tracer,
+                registry=registry,
+                artifact_store=store,
+                metric_labels={"shard": str(shard.index)},
             )
 
-        fault_active = resolve_fault_profile(
-            config.resilience.fault_profile
-        ).active
         workers = (
             1
-            if fault_active or len(pipelines) <= 1
-            else min(len(pipelines), max(1, config.executor.max_workers))
+            if fault_active or len(to_run) <= 1
+            else min(len(to_run), max(1, config.executor.max_workers))
         )
 
         def run_one(index: int):
@@ -561,59 +669,179 @@ def run_sharded(
                 result = pipelines[index].run(stages=stages)
             return result, time.perf_counter() - start
 
-        if workers == 1:
-            outcomes = [run_one(i) for i in range(len(pipelines))]
-        elif shard_workers == "process":
-            # Fork one child per shard (results come back pickled over a
-            # pipe); the callables are inherited, not pickled, which is
-            # why this rides the fork-based run_forked plumbing.
-            from ..serve.shm.pool import run_forked
+        def make_thunk(index: int):
+            def thunk(attempt: int):
+                fault = (
+                    shard_fault_decision(profile, seed, index, attempt)
+                    if fault_active
+                    else None
+                )
+                if fault == "crash":
+                    if shard_workers == "process":
+                        # Die the way a real shard dies: no exception, no
+                        # report, just a vanished child.
+                        os._exit(23)
+                    raise RuntimeError(
+                        f"shard {index}: injected fault: crashed on "
+                        f"attempt {attempt}"
+                    )
+                if fault == "hang":
+                    time.sleep(profile.shard_hang_seconds)
+                    raise RuntimeError(
+                        f"shard {index}: injected fault: hung on "
+                        f"attempt {attempt}"
+                    )
+                try:
+                    return run_one(index)
+                except Exception as exc:
+                    # Attach the shard index: a bare exception out of a
+                    # worker loses which shard raised it.
+                    raise RuntimeError(
+                        f"shard {index}: {type(exc).__name__}: {exc}"
+                    ) from exc
 
-            outcomes = run_forked(
-                [
-                    (lambda i=i: run_one(i))
-                    for i in range(len(pipelines))
-                ],
-                max_workers=workers,
+            return thunk
+
+        def on_outcome(outcome) -> None:
+            # Journal each completed shard as it lands (not at the end):
+            # that is what makes a mid-run crash resumable.
+            if checkpoint is None or not outcome.ok:
+                return
+            shard_index = to_run[outcome.index]
+            result, duration = outcome.value
+            checkpoint.record_shard(
+                shard_index,
+                merged=result.mapping.clusters(),
+                features={
+                    name: feature.clusters
+                    for name, feature in result.features.items()
+                },
+                duration_seconds=duration,
             )
-        else:
-            with ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="borges-shard"
-            ) as pool:
-                outcomes = list(pool.map(run_one, range(len(pipelines))))
-        shard_results = [result for result, _ in outcomes]
-        durations = [duration for _, duration in outcomes]
 
-        # -- reduce --------------------------------------------------------
+        outcomes = []
+        if to_run:
+            outcomes = run_supervised(
+                [make_thunk(index) for index in to_run],
+                max_workers=workers,
+                mode=shard_workers,
+                deadline=shard_deadline,
+                retries=shard_retries,
+                retry_policy=RetryPolicy(
+                    attempts=shard_retries + 1,
+                    base_delay=0.05,
+                    max_delay=1.0,
+                    seed=seed,
+                ),
+                heartbeat_interval=heartbeat_interval,
+                on_outcome=on_outcome,
+            )
+
+        # -- collect outcomes: survivors, quarantine, attempt records ------
+        shard_result_map: Dict[int, BorgesResult] = {}
+        duration_map: Dict[int, float] = {}
+        failed_shards: List[int] = []
+        attempt_records: List[Dict[str, object]] = []
+        quarantine_notes: Dict[str, str] = {}
+        retry_total = 0
+        for position, outcome in enumerate(outcomes):
+            shard_index = to_run[position]
+            record = dict(outcome.to_json(), shard=shard_index)
+            record.pop("index", None)
+            attempt_records.append(record)
+            retry_total += outcome.retries
+            if outcome.retries:
+                metrics.counter(
+                    "pipeline_shard_retries_total",
+                    "shard attempts retried after a failure",
+                ).inc(outcome.retries)
+            metrics.histogram(
+                "pipeline_shard_attempts",
+                "attempts needed per shard in a sharded run",
+                buckets=DEFAULT_COUNT_BUCKETS,
+                shard=str(shard_index),
+            ).observe(float(outcome.attempts))
+            if outcome.ok:
+                result, duration = outcome.value
+                shard_result_map[shard_index] = result
+                duration_map[shard_index] = duration
+            else:
+                failed_shards.append(shard_index)
+                metrics.counter(
+                    "pipeline_shard_quarantined_total",
+                    "shards quarantined after exhausting their retries",
+                ).inc()
+                quarantine_notes[f"shard:{shard_index}"] = (
+                    f"quarantined after {outcome.attempts} attempts "
+                    f"({outcome.exit_reason}): {outcome.error}"
+                )
+        if not shard_result_map and not completed:
+            errors = "; ".join(sorted(quarantine_notes.values())) or "no shards ran"
+            raise DataError(
+                f"sharded run lost all {len(plan.shards)} shards; "
+                f"nothing to salvage ({errors})"
+            )
+
+        # -- reduce over survivors + resumed shards ------------------------
         features: Dict[str, FeatureClusters] = {}
         failures: Dict[str, str] = {}
+        resumed_features = {
+            index: RunCheckpoint.shard_feature_clusters(fields)
+            for index, fields in completed.items()
+        }
         for name in TABLE_FEATURE_ORDER:
             clusters: List[Cluster] = []
             present = False
-            for result in shard_results:
-                feature = result.features.get(name)
-                if feature is not None:
-                    present = True
-                    clusters.extend(feature.clusters)
+            for shard in plan.shards:
+                if shard.index in shard_result_map:
+                    feature = shard_result_map[shard.index].features.get(name)
+                    if feature is not None:
+                        present = True
+                        clusters.extend(feature.clusters)
+                elif shard.index in resumed_features:
+                    recorded = resumed_features[shard.index].get(name)
+                    if recorded is not None:
+                        present = True
+                        clusters.extend(recorded)
             if present:
                 features[name] = FeatureClusters(name, clusters)
-        for index, result in enumerate(shard_results):
-            for name, error in result.feature_errors.items():
-                note = f"shard {index}: {error}"
+        for shard_index in sorted(shard_result_map):
+            for name, error in shard_result_map[shard_index].feature_errors.items():
+                note = f"shard {shard_index}: {error}"
                 failures[name] = (
                     failures[name] + "; " + note if name in failures else note
                 )
+        failures.update(quarantine_notes)
 
         with spans.span("pipeline.reduce"):
-            reduced = reduce_shard_clusters(
-                [result.mapping.clusters() for result in shard_results]
-            )
-            org_names = {
-                asn: whois.org_name_of(asn) for asn in whois.asns()
-            }
+            cluster_lists: List[List[Cluster]] = []
+            for shard in plan.shards:
+                if shard.index in shard_result_map:
+                    cluster_lists.append(
+                        shard_result_map[shard.index].mapping.clusters()
+                    )
+                elif shard.index in completed:
+                    cluster_lists.append(
+                        RunCheckpoint.shard_clusters(completed[shard.index])
+                    )
+            reduced = reduce_shard_clusters(cluster_lists)
+            if failed_shards:
+                # Salvage: the mapping covers only the surviving shards'
+                # ASNs.  Padding dead shards with singletons would claim
+                # knowledge the run does not have.
+                failed_set = set(failed_shards)
+                universe = sorted(
+                    asn
+                    for shard in plan.shards
+                    if shard.index not in failed_set
+                    for asn in shard.asns
+                )
+            else:
+                universe = whois.asns()
+            org_names = {asn: whois.org_name_of(asn) for asn in universe}
             label = "borges[" + ",".join(sorted(config.features)) + "]"
             mapping = OrgMapping(
-                universe=whois.asns(),
+                universe=universe,
                 clusters=reduced,
                 method=label,
                 org_names=org_names,
@@ -625,30 +853,92 @@ def run_sharded(
         metrics.gauge(
             "pipeline_degraded", "1 when the last run lost features"
         ).set(1 if failures else 0)
+        metrics.gauge(
+            "pipeline_shards_failed",
+            "shards quarantined in the last sharded run",
+        ).set(len(failed_shards))
+        metrics.gauge(
+            "pipeline_shards_resumed",
+            "shards answered from the run checkpoint in the last run",
+        ).set(len(resumed))
+        if failed_shards:
+            metrics.counter(
+                "pipeline_shards_salvaged_total",
+                "surviving shards reduced into a degraded mapping",
+            ).inc(len(cluster_lists))
 
+        # -- per-shard accounting ------------------------------------------
         stage_records: List[Dict[str, object]] = []
         shard_sections: List[Dict[str, object]] = []
         llm_requests = 0
-        for index, result in enumerate(shard_results):
-            for record in result.stage_records:
-                stage_records.append(dict(record, shard=index))
-            llm_requests += int(result.diagnostics.get("llm_requests", 0))
-            shard_sections.append(
-                {
-                    "shard": index,
-                    "asns": len(plan.shards[index]),
-                    "components": plan.shards[index].components,
-                    "duration_seconds": round(durations[index], 6),
-                    "llm_requests": result.diagnostics.get("llm_requests", 0),
-                    "degraded": result.degraded,
-                }
-            )
+        attempts_by_shard = {
+            int(record["shard"]): record for record in attempt_records
+        }
+        for shard in plan.shards:
+            index = shard.index
+            section: Dict[str, object] = {
+                "shard": index,
+                "asns": len(shard),
+                "components": shard.components,
+            }
+            if index in shard_result_map:
+                result = shard_result_map[index]
+                for record in result.stage_records:
+                    stage_records.append(dict(record, shard=index))
+                llm_requests += int(result.diagnostics.get("llm_requests", 0))
+                section.update(
+                    status="ok",
+                    duration_seconds=round(duration_map[index], 6),
+                    llm_requests=result.diagnostics.get("llm_requests", 0),
+                    degraded=result.degraded,
+                    attempts=attempts_by_shard.get(index, {}).get("attempts", 1),
+                )
+            elif index in completed:
+                section.update(
+                    status="resumed",
+                    duration_seconds=float(
+                        completed[index].get("duration_seconds", 0.0)
+                    ),
+                    llm_requests=0,
+                    degraded=False,
+                    attempts=0,
+                )
+            else:
+                record = attempts_by_shard.get(index, {})
+                section.update(
+                    status="quarantined",
+                    duration_seconds=round(
+                        float(record.get("duration_seconds", 0.0)), 6
+                    ),
+                    llm_requests=0,
+                    degraded=True,
+                    attempts=record.get("attempts", 0),
+                    error=record.get("error", ""),
+                )
+            shard_sections.append(section)
+        fault_tolerance: Dict[str, object] = {
+            "profile": profile.name,
+            "shard_retries": shard_retries,
+            "shard_deadline": shard_deadline,
+            "retry_total": retry_total,
+            "attempts": attempt_records,
+            "failed_shards": sorted(failed_shards),
+            "salvaged_shards": (
+                sorted(set(shard_result_map) | set(completed))
+                if failed_shards
+                else []
+            ),
+            "resumed_shards": resumed,
+        }
+        if checkpoint is not None:
+            fault_tolerance["checkpoint"] = checkpoint.stats()
         diagnostics: Dict[str, object] = {
             "partition": plan.summary(),
             "shards": shard_sections,
             "llm_requests": llm_requests,
             "artifact_cache": store.stats(),
             "peak_rss_bytes": record_peak_rss(metrics),
+            "fault_tolerance": fault_tolerance,
         }
 
     return ShardedBorgesResult(
@@ -659,5 +949,10 @@ def run_sharded(
         feature_errors=failures,
         stage_records=stage_records,
         partition=plan,
-        shard_results=shard_results,
+        shard_results=[
+            shard_result_map[index] for index in sorted(shard_result_map)
+        ],
+        failed_shards=sorted(failed_shards),
+        shard_attempts=attempt_records,
+        resumed_shards=resumed,
     )

@@ -28,6 +28,7 @@ from .faults import (
     ENV_FAULT_PROFILE,
     PROFILES,
     SERVE_SURFACE,
+    SHARD_SURFACE,
     WATCH_SURFACE,
     FaultInjector,
     FaultProfile,
@@ -35,6 +36,7 @@ from .faults import (
     FaultyWeb,
     corrupt_snapshot_text,
     resolve_fault_profile,
+    shard_fault_decision,
 )
 from .policy import RetryPolicy, is_retryable
 from .seeding import stable_choice_index, stable_unit
@@ -49,9 +51,11 @@ __all__ = [
     "FaultyChatBackend",
     "FaultyWeb",
     "SERVE_SURFACE",
+    "SHARD_SURFACE",
     "WATCH_SURFACE",
     "corrupt_snapshot_text",
     "resolve_fault_profile",
+    "shard_fault_decision",
     "RetryPolicy",
     "is_retryable",
     "stable_choice_index",

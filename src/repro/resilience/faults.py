@@ -49,6 +49,7 @@ LLM_SURFACE = "llm"
 WEB_SURFACE = "web"
 SERVE_SURFACE = "serve"
 WATCH_SURFACE = "watch"
+SHARD_SURFACE = "shard"
 
 #: Fraction of a truncated completion that survives.
 TRUNCATE_KEEP_FRACTION = 0.4
@@ -75,6 +76,9 @@ class FaultProfile:
     watch_slow_pipeline: float = 0.0
     watch_publish_crash: float = 0.0
     watch_disk_pressure: float = 0.0
+    shard_crash: float = 0.0
+    shard_hang: float = 0.0
+    shard_flaky: float = 0.0
     #: When a fault fires, it repeats for this many consecutive calls on
     #: the same surface (correlated outages, not independent coin flips).
     burst_length: int = 1
@@ -88,6 +92,10 @@ class FaultProfile:
     #: How long a watch-side ``slow_pipeline`` fault stalls one refresh
     #: cycle (the daemon sleeps mid-run, as a hung stage would).
     slow_pipeline_seconds: float = 0.01
+    #: How long a ``shard_hang`` fault sleeps — "forever" relative to any
+    #: sane per-shard deadline, so the watchdog (not the sleep expiring)
+    #: must be what unblocks the run.
+    shard_hang_seconds: float = 120.0
     #: Thundering-herd sizing hint for load generators: clients per
     #: admission slot released simultaneously (0 = not a herd profile).
     herd_multiplier: int = 0
@@ -105,6 +113,9 @@ class FaultProfile:
         "watch_slow_pipeline",
         "watch_publish_crash",
         "watch_disk_pressure",
+        "shard_crash",
+        "shard_hang",
+        "shard_flaky",
     )
 
     def validate(self) -> "FaultProfile":
@@ -218,6 +229,34 @@ PROFILES: Dict[str, FaultProfile] = {
             watch_disk_pressure=1.0,
         ),
         FaultProfile(
+            name="shard-crash",
+            description=(
+                "roughly half the shards of a sharded run die mid-attempt "
+                "(fork: os._exit; thread: raised fault) on every attempt; "
+                "retries exhaust, so the run must quarantine the doomed "
+                "shards and salvage a degraded mapping from the survivors"
+            ),
+            shard_crash=0.5,
+        ),
+        FaultProfile(
+            name="shard-hang",
+            description=(
+                "roughly half the shards hang (sleep far past any sane "
+                "deadline) on every attempt; the watchdog must SIGKILL at "
+                "the deadline, retry, then quarantine"
+            ),
+            shard_hang=0.5,
+        ),
+        FaultProfile(
+            name="shard-flaky",
+            description=(
+                "a shard's first attempt may crash but retries never do; "
+                "one retry always recovers, so the run must complete "
+                "clean (not degraded) with nonzero retry counters"
+            ),
+            shard_flaky=0.6,
+        ),
+        FaultProfile(
             name="storm",
             description=(
                 "heavy faults plus truncated completions; features fail and "
@@ -249,6 +288,42 @@ def resolve_fault_profile(name: Optional[str] = None) -> FaultProfile:
         raise ConfigError(
             f"unknown fault profile {name!r}; known: {sorted(PROFILES)}"
         ) from None
+
+
+def shard_fault_decision(
+    profile: FaultProfile, seed: int, shard_index: int, attempt: int
+) -> Optional[str]:
+    """The fault a shard attempt must act out (``crash``/``hang``/``None``).
+
+    Drawn in the *parent*, never inside the shard worker: a forked child
+    inherits a copy of any injector state, so child-side draws would
+    reset the occurrence counter on every retry and re-roll the same
+    coin forever.  A pure function of ``(seed, profile, shard, attempt)``
+    keeps chaos runs byte-reproducible and identical across thread and
+    process execution.
+
+    ``crash`` and ``hang`` are attempt-independent — a poisoned shard
+    stays poisoned, so a bounded retry budget exhausts and the
+    quarantine/salvage path engages.  ``flaky`` fires only on the first
+    attempt (returned as ``crash``), so a single retry always recovers.
+    """
+    key = str(shard_index)
+    if profile.shard_crash > 0.0:
+        if stable_unit(
+            seed, profile.name, SHARD_SURFACE, "crash", key, 0
+        ) < profile.shard_crash:
+            return "crash"
+    if profile.shard_hang > 0.0:
+        if stable_unit(
+            seed, profile.name, SHARD_SURFACE, "hang", key, 0
+        ) < profile.shard_hang:
+            return "hang"
+    if attempt == 0 and profile.shard_flaky > 0.0:
+        if stable_unit(
+            seed, profile.name, SHARD_SURFACE, "flaky", key, 0
+        ) < profile.shard_flaky:
+            return "crash"
+    return None
 
 
 class FaultInjector:

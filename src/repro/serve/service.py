@@ -485,6 +485,9 @@ class QueryService:
                 "halted": watch.get("halted", False),
                 "consecutive_failures": watch.get("consecutive_failures", 0),
             }
+            posture = watch.get("last_shard_posture")
+            if posture:
+                body["watch"]["shard_posture"] = posture
         if self.admission is not None:
             body["admission"] = self.admission.occupancy()
         if self.slo is not None:

@@ -42,7 +42,13 @@ from .segment import (
     default_shm_root,
     map_blob_file,
 )
-from .pool import WorkerConfig, WorkerPool, run_forked
+from .pool import (
+    ForkedOutcome,
+    WorkerConfig,
+    WorkerPool,
+    run_forked,
+    run_supervised,
+)
 
 __all__ = [
     "BLOB_MAGIC",
@@ -53,6 +59,7 @@ __all__ = [
     "BlobHeader",
     "BlobIndex",
     "BlobOrgRecord",
+    "ForkedOutcome",
     "MappedBlob",
     "SegmentStore",
     "WorkerConfig",
@@ -62,5 +69,6 @@ __all__ = [
     "map_blob_file",
     "read_header",
     "run_forked",
+    "run_supervised",
     "verify_blob",
 ]

@@ -202,6 +202,21 @@ class TopView:
                     f"   consecutive-failures "
                     f"{watch.get('consecutive_failures', 0):.0f}"
                 )
+                shards = watch.get("shard_posture")
+                if isinstance(shards, dict):
+                    failed = shards.get("failed") or []
+                    lines.append(
+                        f"  shards {shards.get('ok', 0):.0f}"
+                        f"/{shards.get('shards', 0):.0f} ok"
+                        f"   retries {shards.get('retries', 0):.0f}"
+                        f"   resumed "
+                        f"{len(shards.get('resumed') or [])}"
+                        + (
+                            f"   QUARANTINED {sorted(failed)}"
+                            if failed
+                            else ""
+                        )
+                    )
         lines.append("")
         lines.append("rates")
         lines.extend(

@@ -89,6 +89,9 @@ class WatchRunResult:
     pdb: object = None
     #: Ground-truth precision when the runner can measure it, else None.
     precision: Optional[float] = None
+    #: Sharded-refresh posture (``ShardedBorgesResult.shard_posture()``)
+    #: when the runner executes sharded, else None.
+    shard_posture: Optional[Dict[str, object]] = None
 
 
 @dataclass(frozen=True)
@@ -152,6 +155,7 @@ class WatchDaemon:
         self.last_error = ""
         self.last_cycle_at = 0.0
         self.last_gate_decision: Optional[Dict[str, object]] = None
+        self.last_shard_posture: Optional[Dict[str, object]] = None
         self._outcome_counters = {
             outcome: self.registry.counter(
                 "watch_cycles_total",
@@ -341,6 +345,15 @@ class WatchDaemon:
             self._record_failure(error)
             _LOG.warning("watch cycle %d failed: %s", self.cycles, error)
             return self._record_outcome("failed", error=error)
+        if result.shard_posture is not None:
+            with self._lock:
+                self.last_shard_posture = dict(result.shard_posture)
+            if result.shard_posture.get("failed"):
+                self._emit(
+                    "watch.shards_degraded",
+                    severity="warning",
+                    **result.shard_posture,
+                )
         digest = result.dataset_digest
         if digest in quarantined:
             self.journal.append(
@@ -520,6 +533,7 @@ class WatchDaemon:
                 "interval_seconds": self.config.interval,
                 "thresholds": self.config.thresholds.to_json(),
                 "last_gate_decision": self.last_gate_decision,
+                "last_shard_posture": self.last_shard_posture,
             }
         out["journal"] = self.journal.stats()
         out["archive"] = self.archive.stats()
